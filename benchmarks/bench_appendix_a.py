@@ -1,0 +1,45 @@
+"""Appendix A bench: the s = 1 case (Simple(0, λ0) vs Random, both poor).
+
+The paper relegates s = 1 to the appendix because neither strategy does
+well, noting Random slightly outperforms Simple(0, λ0) under the
+Sec. IV-B measure for the parameters it tested. Reproduced here:
+
+* at n = 71, r = 5 and large b, Random's probable availability beats the
+  Simple(0) guarantee, with the gap widening in k (the paper's regime);
+* the winner's margin is tiny compared to what *both* lose — at s = 1 the
+  losses are an order of magnitude above the s = 2 losses for the same
+  parameters, which is the appendix's real message.
+"""
+
+from conftest import emit
+
+from repro.analysis import appendix_a
+from repro.core.rand_analysis import pr_avail_rnd
+
+
+def test_appendix_a_s1(benchmark):
+    result = benchmark.pedantic(appendix_a.generate, rounds=1, iterations=1)
+    emit("appendix_a", result.render())
+
+    by_key = {(c.n, c.r, c.b, c.k): c for c in result.cells}
+
+    # Random wins the paper's regime (n = 71, r = 5, large b, k >= 3),
+    # increasingly so in k.
+    margins = [by_key[(71, 5, 38400, k)].margin for k in (3, 4, 5)]
+    assert all(m < 0 for m in margins)
+    assert margins[0] > margins[1] > margins[2]
+
+    # Whoever wins, the margin is small against the total damage.
+    for cell in result.cells:
+        losses = cell.b - min(cell.lb_simple0, cell.pr_avail)
+        assert abs(cell.margin) <= max(10, losses), cell
+
+    # Both are poor: s = 1 losses dwarf s = 2 losses at the same point.
+    cell = by_key[(71, 5, 38400, 5)]
+    s1_random_losses = cell.b - cell.pr_avail
+    s2_random_losses = cell.b - pr_avail_rnd(71, 5, 5, 2, 38400)
+    assert s1_random_losses > 5 * s2_random_losses
+
+    # Lemma 4 really is an upper bound on prAvail for every cell.
+    for cell in result.cells:
+        assert cell.pr_avail <= cell.lemma4_bound + 1

@@ -1,0 +1,49 @@
+"""Fig. 10 bench: the per-stratum breakdown of Combo placements (r = s = 3).
+
+Paper takeaways reproduced here:
+* as b grows at fixed x, lambda must grow (Eqn. 1) and the Simple(x, .)
+  guarantee erodes;
+* moving from x = 1 to x = 2 relieves lambda pressure (visible as the
+  Combo column tracking x = 2 at large b);
+* larger n pushes Combo back toward smaller x (compare the n = 31 and
+  n = 257 tables);
+* Combo >= max(pure strata) always, with strict improvement at the n = 31
+  crossover (b = 4800, k in {5, 6}) the paper calls out.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis import fig10
+
+
+def _generate_all():
+    return {n: fig10.generate(n) for n in (31, 71, 257)}
+
+
+def test_fig10_breakdown(benchmark):
+    results = benchmark.pedantic(_generate_all, rounds=1, iterations=1)
+    emit(
+        "fig10",
+        "\n\n".join(results[n].render() for n in (31, 71, 257)),
+    )
+
+    # Combo dominates both pure strata everywhere.
+    for result in results.values():
+        for row in result.rows:
+            for k, combo_value in row.combo_percent.items():
+                for per_k in row.simple_percent.values():
+                    if not math.isnan(per_k[k]) and not math.isnan(combo_value):
+                        assert combo_value >= per_k[k] - 1e-9
+
+    # The paper's strict-mix anchor: n = 31, b = 4800, k in {5, 6}.
+    n31 = results[31]
+    row4800 = next(row for row in n31.rows if row.b == 4800)
+    for k in (5, 6):
+        assert row4800.combo_percent[k] > row4800.simple_percent[1][k]
+        assert row4800.combo_percent[k] > row4800.simple_percent[2][k]
+
+    # Lambda pressure: x = 1 lambda strictly grows with b.
+    lams = [row.simple_lambdas[1] for row in n31.rows]
+    assert lams == sorted(lams) and lams[-1] > lams[0]

@@ -1,0 +1,26 @@
+"""Fig. 2 bench: tightness of lbAvail_si under simulated worst-case failures.
+
+Paper setting: Simple(1, lambda) from STS(69) on n = 71 nodes, r = 3,
+s in {2, 3}, k in [s, 5], b in {600 ... 9600}. The paper's gap curves stay
+within ~25 objects; the reproduced gaps should stay in the same band.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig2
+
+
+def test_fig2_simple_bound_tightness(benchmark):
+    result = benchmark.pedantic(
+        fig2.generate,
+        kwargs=dict(b_values=(600, 1200, 2400, 4800, 9600)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig2", result.render())
+    # Shape assertions mirroring the paper's plot: gaps are small relative
+    # to b and (weakly) grow with b for s = 3.
+    for cell in result.cells:
+        assert cell.gap <= 40, f"gap blew up: {cell}"
+        if cell.exact:
+            assert cell.gap >= 0

@@ -1,0 +1,18 @@
+"""Fig. 3 bench: Combo's sensitivity to the configured failure count k.
+
+Paper: r = 5, s = 3, k = 6; ratio of lower bounds stays between 99% and
+100% for k' in [4, 8] on all three system sizes.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig3
+
+
+def test_fig3_sensitivity(benchmark):
+    result = benchmark.pedantic(fig3.generate, rounds=1, iterations=1)
+    emit("fig3", result.render())
+    for point in result.points:
+        assert 98.0 <= point.ratio_percent <= 100.0 + 1e-9, point
+        if point.k_actual == point.k_configured:
+            assert point.ratio_percent == 100.0

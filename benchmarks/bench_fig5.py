@@ -1,0 +1,36 @@
+"""Fig. 5 bench: capacity-gap CDFs over n in [50, 800], mu = 1, <= 3 chunks.
+
+Paper takeaways to reproduce: r in {2, 3, 4} achieve near-zero gaps for
+almost all n; r = 5 with x in {2, 3} only covers a small fraction of sizes.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig5
+
+
+def test_fig5_capacity_gap_cdfs(benchmark):
+    from repro.util.asciiplot import cdf_plot
+
+    result = benchmark.pedantic(fig5.generate, rounds=1, iterations=1)
+    r5_plot = cdf_plot(
+        [
+            (f"x={cdf.x}", list(cdf.gaps))
+            for cdf in result.cdfs
+            if cdf.r == 5 and cdf.x in (1, 2, 3)
+        ],
+        title="Fig 5 (r=5): capacity-gap CDFs",
+        x_label="capacity gap",
+    )
+    emit("fig5", result.render() + "\n\n" + r5_plot)
+    by_combo = {(cdf.r, cdf.x): cdf for cdf in result.cdfs}
+    # r <= 4: nearly every system size achieves gap <= 0.1.
+    for r, x in [(2, 1), (3, 1), (4, 1), (4, 2)]:
+        assert by_combo[(r, x)].fraction_at_most(0.1) > 0.9, (r, x)
+    # r = 5, x in {2, 3}: only a small fraction achieves gap <= 0.1
+    # (the paper: "only about 10% of the system sizes").
+    for x in (2, 3):
+        assert by_combo[(5, x)].fraction_at_most(0.1) < 0.2, x
+    # Trivial strata (x + 1 = r) always have zero gap.
+    for r in (2, 3, 4, 5):
+        assert by_combo[(r, r - 1)].fraction_at_most(0.0) == 1.0

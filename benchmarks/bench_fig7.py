@@ -1,0 +1,19 @@
+"""Fig. 7 bench: convergence of prAvail_rnd to empirical Random availability.
+
+Paper takeaway: the Theorem-2 limit is within ~10% of simulated Random
+placements once b >= 600, justifying its use as the Fig. 9 baseline.
+REPRO_REPS (default 5; the paper used 20) and REPRO_B_MAX (default 9600)
+control the cost.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig7
+
+
+def test_fig7_pravail_convergence(benchmark):
+    result = benchmark.pedantic(fig7.generate, rounds=1, iterations=1)
+    emit("fig7", result.render())
+    for cell in result.cells:
+        if cell.b >= 600:
+            assert abs(cell.error_percent) <= 10.0, cell

@@ -1,0 +1,29 @@
+"""Fig. 8 bench: prAvail_rnd / b curves for s in 1..5 at b = 38400.
+
+Paper takeaways: s = 1 performs far worse than s >= 2 (separate axis in the
+paper); availability improves dramatically as s approaches r; larger n or
+smaller r helps at fixed s.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig8
+
+
+def test_fig8_pravail_fractions(benchmark):
+    result = benchmark.pedantic(fig8.generate, rounds=1, iterations=1)
+    panels = "\n\n".join(
+        result.render_plot(s) for s in sorted(result.by_s())
+    )
+    emit("fig8", result.render() + "\n\n" + panels)
+    by_key = {(e.n, e.r, e.s): dict(e.points) for e in result.series}
+    # s = 1 decays fast; s = 5 stays essentially perfect (paper's axes).
+    assert by_key[(71, 5, 1)][10] < 0.55
+    assert by_key[(71, 5, 5)][10] > 0.998
+    # At fixed s, bigger n is better and smaller r is better.
+    assert by_key[(257, 3, 2)][8] >= by_key[(71, 3, 2)][8]
+    assert by_key[(71, 3, 2)][8] >= by_key[(71, 5, 2)][8]
+    # Monotone decay in k everywhere.
+    for points in by_key.values():
+        ks = sorted(points)
+        assert all(points[a] >= points[b] for a, b in zip(ks, ks[1:]))

@@ -1,0 +1,58 @@
+"""Fig. 9 bench: the headline Combo-vs-Random tables (n = 71 and n = 257).
+
+Cells are 100 * (lbAvail_co - prAvail) / (b - prAvail); positive means the
+Combo *guarantee* beats what Random *probably* achieves. The reproduction
+matches the paper's sign pattern and trends (cells can differ by a few
+points: prAvail is integer-valued and small-b cells are sensitive to +-1
+object; see EXPERIMENTS.md for the cell-level comparison).
+"""
+
+from conftest import emit
+
+from repro.analysis import fig9
+
+
+def test_fig9a_n71(benchmark):
+    result = benchmark.pedantic(
+        fig9.generate, args=(71, 7), rounds=1, iterations=1
+    )
+    emit("fig9a", result.render())
+    _check_paper_trends(result, n=71)
+
+
+def test_fig9b_n257(benchmark):
+    result = benchmark.pedantic(
+        fig9.generate, args=(257, 8), rounds=1, iterations=1
+    )
+    emit("fig9b", result.render())
+    _check_paper_trends(result, n=257)
+
+
+def _check_paper_trends(result, n):
+    # Trend 1 (paper Sec. IV-B): "Combo wins most of the time".
+    cells = [cell for table in result.tables for cell in table.cells.values()]
+    combo_wins = sum(1 for c in cells if c.winner == "combo")
+    random_wins = sum(1 for c in cells if c.winner == "random")
+    assert combo_wins > 2 * random_wins, (combo_wins, random_wins)
+
+    # Trend 2: the r = s = 2 table becomes a clean Combo sweep once b is
+    # large enough. The paper's own 9b has zero/negative cells up to
+    # b = 4800 at n = 257 (larger n needs more objects before packings
+    # beat Random), so the sweep threshold scales with n.
+    table22 = result.table_for(2, 2)
+    sweep_from = 2400 if n <= 71 else 9600
+    for (b, k), cell in table22.cells.items():
+        if b >= sweep_from:
+            assert cell.winner == "combo", (b, k)
+
+    # Trend 3: within a row, improvement weakly decreases with k for r=2
+    # (more failures erode the guarantee relative to Random). At small b
+    # the denominator b - prAvail is a handful of objects and integer
+    # jumps break strict monotonicity, so check the settled rows.
+    for b in table22.b_values:
+        if b < sweep_from:
+            continue
+        row = [
+            table22.cells[(b, k)].improvement_percent for k in table22.k_values
+        ]
+        assert all(x >= y - 1e-9 for x, y in zip(row, row[1:])), (b, row)

@@ -1,0 +1,46 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures, times the
+generator, and emits the rendered result twice:
+
+* to ``benchmarks/output/<name>.txt`` for side-by-side comparison with the
+  paper (see EXPERIMENTS.md);
+* through the pytest terminal summary, so ``pytest benchmarks/
+  --benchmark-only | tee bench_output.txt`` records every table even
+  though pytest captures per-test stdout.
+
+Effort knobs: REPRO_EFFORT (fast|auto|exact), REPRO_REPS (Monte-Carlo
+repetitions; the paper used 20), REPRO_B_MAX (object-count cap for the
+simulation-heavy figures).
+"""
+
+import pathlib
+from typing import Dict
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+_EMITTED: Dict[str, str] = {}
+
+
+def emit(name: str, text: str) -> None:
+    """Persist a rendered experiment and queue it for the terminal summary."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    _EMITTED[name] = text
+    # Also print for anyone running with -s.
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EMITTED:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for name in sorted(_EMITTED):
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in _EMITTED[name].splitlines():
+            terminalreporter.write_line(line)

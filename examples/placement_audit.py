@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Audit an existing placement: measured overlaps -> certified guarantees.
+
+Not every cluster was placed by this library. This example shows the
+auditing path for placements that came from elsewhere: measure the
+placement's overlap profile (the largest number of objects sharing 1, 2,
+... nodes), compare it against what Random placement would produce, and
+derive the availability floors that Lemma 2 certifies from the measured
+multiplicities — no adversary simulation required.
+
+The "foreign" placement here is deliberately flawed: a mostly-random
+allocator with a hotspot bug that co-locates every 20th object on the same
+three nodes. The audit catches it: the x = 2 multiplicity explodes past
+the Random baseline, and the certified floor collapses for majority-quorum
+objects.
+
+Run:  python examples/placement_audit.py
+"""
+
+import random
+
+from repro import Placement, RandomStrategy, audit_placement, best_attack
+from repro.core.inspect import expected_random_multiplicity
+
+
+def buggy_allocator(n: int, b: int, r: int, seed: int) -> Placement:
+    """Random placement with a co-location bug on every 20th object."""
+    rng = random.Random(seed)
+    hotspot = (3, 7, 11)
+    sets = []
+    for i in range(b):
+        if i % 20 == 0:
+            sets.append(hotspot)
+        else:
+            sets.append(tuple(rng.sample(range(n), r)))
+    return Placement.from_replica_sets(n, sets, strategy="buggy")
+
+
+def main() -> None:
+    n, b, r, s, k = 31, 600, 3, 2, 3
+
+    suspect = buggy_allocator(n, b, r, seed=9)
+    healthy = RandomStrategy(n, r).place(b, random.Random(9))
+
+    for name, placement in (("buggy allocator", suspect), ("Random", healthy)):
+        print(f"--- {name} ---")
+        audit = audit_placement(placement, k_values=(k,), s_values=(1, 2, 3))
+        print(audit.render())
+        baseline = expected_random_multiplicity(n, b, r, 1)
+        measured = audit.profile.lam(1)
+        verdict = "SUSPICIOUS" if measured > 5 * max(baseline, 1) else "ok"
+        print(
+            f"pair-overlap check: measured lambda_1={measured}, Random "
+            f"baseline ~{baseline:.2f} -> {verdict}"
+        )
+        attack = best_attack(placement, k, s, effort="auto")
+        print(
+            f"adversary check (k={k}, s={s}): {attack.damage} objects "
+            f"killed by {sorted(attack.nodes)}\n"
+        )
+
+    print(
+        "The hotspot triple is exactly what a worst-case adversary finds: "
+        "auditing overlaps predicts the attack before it happens."
+    )
+
+
+if __name__ == "__main__":
+    main()

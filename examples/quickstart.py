@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: place objects with Combo, attack them, compare with Random.
+
+The 60-second tour of the library:
+
+1. pick system parameters (the paper's notation: n nodes, b objects,
+   r replicas, fatality threshold s, k failures);
+2. build a Combo placement (the paper's optimized strategy) and read off
+   its availability *guarantee*;
+3. simulate the worst-case adversary against it and against load-balanced
+   Random placement;
+4. check the guarantee held and see who survived better.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    ComboStrategy,
+    RandomStrategy,
+    evaluate_availability,
+    pr_avail_rnd,
+)
+from repro.designs.catalog import Existence
+
+
+def main() -> None:
+    n, b, r, s, k = 71, 1200, 3, 2, 3
+    print(f"System: n={n} nodes, b={b} objects, r={r} replicas, "
+          f"objects die at s={s} replica failures, adversary kills k={k} nodes\n")
+
+    # --- the paper's strategy ------------------------------------------------
+    combo = ComboStrategy(n, r, s, tier=Existence.CONSTRUCTIBLE)
+    plan = combo.plan(b, k)
+    print(f"Combo plan: lambdas={plan.lambdas} (objects per stratum: "
+          f"{plan.counts})")
+    print(f"Guaranteed available objects (Lemma 3): {plan.lower_bound}")
+
+    placement = combo.place(b, k, plan=plan)
+    report = evaluate_availability(placement, k, s)
+    print(f"Worst-case attack found: {report.attack.nodes} "
+          f"-> {report.available} objects survive "
+          f"({report.fraction_available:.2%})")
+    assert report.available >= plan.lower_bound, "bound violated?!"
+    print("Guarantee held.\n")
+
+    # --- the baseline ---------------------------------------------------------
+    rnd_placement = RandomStrategy(n, r).place(b, random.Random(42))
+    rnd_report = evaluate_availability(rnd_placement, k, s)
+    predicted = pr_avail_rnd(n, k, r, s, b)
+    print(f"Random placement: worst-case attack -> {rnd_report.available} "
+          f"objects survive (analytic prediction prAvail = {predicted})")
+
+    saved = rnd_report.failed - report.failed
+    print(f"\nCombo preserved {saved} more objects than Random under "
+          f"worst-case failures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environments this repo targets may lack the ``wheel`` package
+that PEP 660 editable installs require; with this shim and no
+``[build-system]`` table in pyproject.toml, ``pip install -e .`` falls back
+to the classic setuptools develop install, which works with setuptools
+alone. All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

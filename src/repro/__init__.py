@@ -1,0 +1,96 @@
+"""repro: worst-case availability replica placement (ICDCS 2015 reproduction).
+
+A from-scratch implementation of Li, Gao & Reiter, *Replica Placement for
+Availability in the Worst Case* (ICDCS 2015): t-packing-based Simple and
+Combo placement strategies, the load-balanced Random baseline, exact and
+heuristic worst-case failure adversaries, the analytical availability
+bounds (Lemmas 1-4, Theorems 1-2), the combinatorial design substrate the
+placements are built from, and a cluster simulator for end-to-end
+scenarios.
+
+Quickstart::
+
+    from repro import ComboStrategy, RandomStrategy, evaluate_availability
+
+    combo = ComboStrategy(n=71, r=3, s=2)
+    plan = combo.plan(b=1200, k=3)          # DP of Sec. III-B1
+    placement = combo.place(b=1200, k=3)    # concrete replica sets
+    report = evaluate_availability(placement, k=3, s=2)
+    assert report.available >= plan.lower_bound
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    AdaptiveComboPlacement,
+    AttackResult,
+    AvailabilityReport,
+    BranchAndBoundAdversary,
+    ComboPlan,
+    ComboStrategy,
+    ExhaustiveAdversary,
+    GreedyAdversary,
+    LocalSearchAdversary,
+    Placement,
+    PlacementError,
+    RandomStrategy,
+    SimpleStrategy,
+    Subsystem,
+    SystemParams,
+    UnconstrainedRandomStrategy,
+    audit_placement,
+    best_attack,
+    capacity_gap,
+    certified_availability,
+    evaluate_availability,
+    lb_avail_combo,
+    lb_avail_simple,
+    lemma4_upper_bound,
+    majority_threshold,
+    minimal_lambda,
+    packing_profile,
+    pr_avail_rnd,
+    select_combo_subsystems,
+    select_subsystem,
+    simple_capacity,
+    theorem1_constants,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveComboPlacement",
+    "AttackResult",
+    "AvailabilityReport",
+    "BranchAndBoundAdversary",
+    "ComboPlan",
+    "ComboStrategy",
+    "ExhaustiveAdversary",
+    "GreedyAdversary",
+    "LocalSearchAdversary",
+    "Placement",
+    "PlacementError",
+    "RandomStrategy",
+    "SimpleStrategy",
+    "Subsystem",
+    "SystemParams",
+    "UnconstrainedRandomStrategy",
+    "__version__",
+    "audit_placement",
+    "best_attack",
+    "capacity_gap",
+    "certified_availability",
+    "evaluate_availability",
+    "lb_avail_combo",
+    "lb_avail_simple",
+    "lemma4_upper_bound",
+    "majority_threshold",
+    "minimal_lambda",
+    "packing_profile",
+    "pr_avail_rnd",
+    "select_combo_subsystems",
+    "select_subsystem",
+    "simple_capacity",
+    "theorem1_constants",
+]

@@ -1,0 +1,35 @@
+"""Figure/table generators: one module per experiment in the paper.
+
+Each ``figN.generate(...)`` returns a structured result with a ``render()``
+text view; the ``benchmarks/`` suite times the generators and tees their
+renders into ``bench_output.txt`` for side-by-side comparison with the
+paper (see EXPERIMENTS.md for the recorded comparison).
+"""
+
+from repro.analysis import (
+    appendix_a,
+    common,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+)
+
+__all__ = [
+    "appendix_a",
+    "common",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+]

@@ -1,0 +1,113 @@
+"""Fig. 10: breakdown of Combo placements into their Simple strata.
+
+For r = s = 3 and n in {31, 71, 257} the paper shows, side by side, the
+improvement over Random achieved by pure Simple(1, lambda), pure
+Simple(2, lambda) (each with the minimal lambda of Eqn. 1, which the
+tables annotate), and the DP-optimized Combo. The Combo column dominates:
+it tracks whichever stratum wins and sometimes beats both by mixing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.common import PAPER_B_LADDER, percent
+from repro.core.bounds import lb_avail_simple
+from repro.core.combo import ComboStrategy
+from repro.core.rand_analysis import pr_avail_rnd
+from repro.core.subsystems import select_subsystem
+from repro.designs.catalog import Existence
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    b: int
+    simple_lambdas: Dict[int, int]  # x -> minimal lambda
+    simple_percent: Dict[int, Dict[int, float]]  # x -> {k: improvement %}
+    combo_percent: Dict[int, float]  # k -> improvement %
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    n: int
+    r: int
+    s: int
+    x_values: Tuple[int, ...]
+    k_values: Tuple[int, ...]
+    rows: Tuple[Fig10Row, ...]
+
+    def render(self) -> str:
+        headers = ["b"]
+        for x in self.x_values:
+            headers.append(f"x={x}:lam")
+            headers.extend(f"x={x}:k={k}" for k in self.k_values)
+        headers.extend(f"combo:k={k}" for k in self.k_values)
+        table = TextTable(
+            headers,
+            title=(
+                f"Fig 10 (n={self.n}): Simple vs Combo improvement % "
+                f"(r=s={self.r})"
+            ),
+        )
+        for row in self.rows:
+            cells: List[object] = [row.b]
+            for x in self.x_values:
+                cells.append(row.simple_lambdas.get(x))
+                for k in self.k_values:
+                    value = row.simple_percent.get(x, {}).get(k)
+                    cells.append(f"{value:.0f}" if value == value else "-")
+            for k in self.k_values:
+                value = row.combo_percent[k]
+                cells.append(f"{value:.0f}" if value == value else "-")
+            table.add_row(cells)
+        return table.render()
+
+
+def generate(
+    n: int,
+    r: int = 3,
+    s: int = 3,
+    x_values: Tuple[int, ...] = (1, 2),
+    k_values: Optional[Tuple[int, ...]] = None,
+    b_values: Tuple[int, ...] = tuple(PAPER_B_LADDER),
+    tier: Existence = Existence.KNOWN,
+) -> Fig10Result:
+    if k_values is None:
+        top = 6 if n == 31 else (7 if n == 71 else 8)
+        k_values = tuple(range(s, top + 1))
+    combo = ComboStrategy(n, r, s, tier=tier)
+    subsystems = {x: select_subsystem(n, r, x, tier=tier) for x in x_values}
+    rows: List[Fig10Row] = []
+    for b in b_values:
+        simple_lambdas: Dict[int, int] = {}
+        simple_percent: Dict[int, Dict[int, float]] = {}
+        for x in x_values:
+            subsystem = subsystems[x]
+            if subsystem is None:
+                continue
+            lam = subsystem.minimal_lambda(b)
+            simple_lambdas[x] = lam
+            per_k: Dict[int, float] = {}
+            for k in k_values:
+                lb = lb_avail_simple(b, k, s, x, lam)
+                pr = pr_avail_rnd(n, k, r, s, b)
+                per_k[k] = percent(lb - pr, b - pr)
+            simple_percent[x] = per_k
+        combo_percent: Dict[int, float] = {}
+        for k in k_values:
+            lb = combo.plan(b, k).lower_bound
+            pr = pr_avail_rnd(n, k, r, s, b)
+            combo_percent[k] = percent(lb - pr, b - pr)
+        rows.append(
+            Fig10Row(
+                b=b,
+                simple_lambdas=simple_lambdas,
+                simple_percent=simple_percent,
+                combo_percent=combo_percent,
+            )
+        )
+    return Fig10Result(
+        n=n, r=r, s=s, x_values=x_values, k_values=k_values, rows=tuple(rows)
+    )

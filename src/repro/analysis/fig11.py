@@ -1,0 +1,72 @@
+"""Fig. 11: the Lemma-4 decay of Random availability when s = 1.
+
+``prAvail_rnd <= b (1 - 1/b)^{k floor(l)}`` with ``l = r b / n``: with
+write-all style objects, Random's availability (as a fraction of b) decays
+essentially linearly in k with slope governed by r/n. Setting: b = 38400,
+(n, r) in {(71,3), (71,5), (257,3), (257,5)}, k in [1, 10] (Lemma 4 needs
+k < n/2, comfortably satisfied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.rand_analysis import lemma4_upper_bound
+from repro.util.asciiplot import Series, line_plot
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Fig11Series:
+    n: int
+    r: int
+    points: Tuple[Tuple[int, float], ...]  # (k, bound / b)
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    b: int
+    series: Tuple[Fig11Series, ...]
+
+    def render(self) -> str:
+        k_values = [k for k, _ in self.series[0].points]
+        table = TextTable(
+            ["k", *[f"n={e.n},r={e.r}" for e in self.series]],
+            title=f"Fig 11: Lemma-4 bound (1 - 1/b)^(k*floor(l)) for b={self.b}",
+        )
+        for i, k in enumerate(k_values):
+            table.add_row([k, *[round(e.points[i][1], 5) for e in self.series]])
+        return table.render()
+
+    def render_plot(self, width: int = 64, height: int = 14) -> str:
+        """ASCII curves matching the paper's plot shape."""
+        return _render_plot(self, width=width, height=height)
+
+
+def _render_plot(result: "Fig11Result", width: int = 64, height: int = 14) -> str:
+    series = [
+        Series.from_pairs(f"n={e.n},r={e.r}", list(e.points))
+        for e in result.series
+    ]
+    return line_plot(
+        series,
+        width=width,
+        height=height,
+        title=f"Fig 11: Lemma-4 bound / b vs k (b={result.b})",
+        x_label="k",
+    )
+
+
+def generate(
+    b: int = 38400,
+    systems: Tuple[Tuple[int, int], ...] = ((71, 3), (71, 5), (257, 3), (257, 5)),
+    k_max: int = 10,
+) -> Fig11Result:
+    series: List[Fig11Series] = []
+    for n, r in systems:
+        points = tuple(
+            (k, lemma4_upper_bound(n, k, r, b) / b) for k in range(1, k_max + 1)
+        )
+        series.append(Fig11Series(n=n, r=r, points=points))
+    return Fig11Result(b=b, series=tuple(series))

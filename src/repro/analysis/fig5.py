@@ -1,0 +1,108 @@
+"""Figs. 5 and 6: capacity-gap CDFs over system sizes n in [50, 800].
+
+For each (r, x) the paper asks: decomposing n nodes into at most m = 3
+chunks carrying known Steiner systems, what fraction of the ideal Lemma-1
+capacity is lost ("capacity gap")? Fig. 5 uses mu = 1; Fig. 6 revisits the
+hard cases (r = 5, x in {2, 3}) allowing mu <= 5 and mu <= 10, where the
+catalog falls back to divisibility-admissible parameter sets (documented
+as the optimistic tier in DESIGN.md/EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.subsystems import capacity_gap
+from repro.designs.catalog import Existence
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class GapCDF:
+    r: int
+    x: int
+    max_mu: int
+    tier: Existence
+    gaps: Tuple[float, ...]  # one per n, unsorted
+
+    def fraction_at_most(self, threshold: float) -> float:
+        if not self.gaps:
+            return 0.0
+        return sum(1 for g in self.gaps if g <= threshold + 1e-12) / len(self.gaps)
+
+    def cdf_points(self, thresholds: Sequence[float]) -> List[Tuple[float, float]]:
+        return [(t, self.fraction_at_most(t)) for t in thresholds]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    n_range: Tuple[int, int]
+    max_chunks: int
+    cdfs: Tuple[GapCDF, ...]
+
+    def render(self, thresholds: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)) -> str:
+        table = TextTable(
+            ["r", "x", "mu<=", *[f"gap<={t:g}" for t in thresholds]],
+            title=(
+                f"Figs 5-6: capacity-gap CDFs, n in [{self.n_range[0]}, "
+                f"{self.n_range[1]}], chunks <= {self.max_chunks}"
+            ),
+        )
+        for cdf in self.cdfs:
+            table.add_row(
+                [
+                    cdf.r,
+                    cdf.x,
+                    cdf.max_mu,
+                    *[round(frac, 3) for _, frac in cdf.cdf_points(thresholds)],
+                ]
+            )
+        return table.render()
+
+
+def generate(
+    combos: Sequence[Tuple[int, int]] = (
+        (2, 0), (2, 1),
+        (3, 0), (3, 1), (3, 2),
+        (4, 0), (4, 1), (4, 2), (4, 3),
+        (5, 0), (5, 1), (5, 2), (5, 3), (5, 4),
+    ),
+    n_range: Tuple[int, int] = (50, 800),
+    max_chunks: int = 3,
+    max_mu: int = 1,
+    tier: Existence = Existence.KNOWN,
+) -> Fig5Result:
+    """Fig. 5's CDFs (defaults) or Fig. 6's (combos/(max_mu, tier) overridden)."""
+    cdfs: List[GapCDF] = []
+    for r, x in combos:
+        gaps = [
+            capacity_gap(n, r, x, tier=tier, max_mu=max_mu, max_chunks=max_chunks)
+            for n in range(n_range[0], n_range[1] + 1)
+        ]
+        cdfs.append(GapCDF(r=r, x=x, max_mu=max_mu, tier=tier, gaps=tuple(gaps)))
+    return Fig5Result(n_range=n_range, max_chunks=max_chunks, cdfs=tuple(cdfs))
+
+
+def generate_fig6(
+    n_range: Tuple[int, int] = (50, 800),
+    max_chunks: int = 3,
+) -> Tuple[Fig5Result, Fig5Result]:
+    """Fig. 6: the r = 5, x in {2, 3} cases with mu <= 5 and mu <= 10.
+
+    Uses the DIVISIBILITY tier: beyond catalogued systems, a (v, mu) pair
+    counts when the necessary conditions hold — the optimistic assumption
+    the paper makes when surveying "numerous additional constructions".
+    """
+    results = []
+    for max_mu in (5, 10):
+        results.append(
+            generate(
+                combos=((5, 2), (5, 3)),
+                n_range=n_range,
+                max_chunks=max_chunks,
+                max_mu=max_mu,
+                tier=Existence.DIVISIBILITY,
+            )
+        )
+    return results[0], results[1]

@@ -1,0 +1,128 @@
+"""Fig. 7: how fast the Theorem-2 limit matches empirical Random placements.
+
+``prAvail_rnd`` is an asymptotic (load -> infinity) estimate; the paper
+validates it by simulating Random placements, attacking each with the
+worst-case adversary, and plotting the percentage error
+``(prAvail - avgAvail) / avgAvail`` against b. Error within ~10% by b = 600
+justifies using prAvail as the comparison baseline in Fig. 9.
+
+Paper settings: (n=31, r=5, s=3, k in 3..5) and (n=71, r=5, s=2, k in
+2..5), b in {150 ... 9600}, 20 placements per point (REPRO_REPS overrides;
+default 5 for bench runtime).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.common import (
+    FIG7_B_LADDER,
+    adversary_effort,
+    monte_carlo_reps,
+    object_scale_cap,
+)
+from repro.core.adversary import best_attack
+from repro.core.rand_analysis import pr_avail_rnd
+from repro.core.random_placement import RandomStrategy
+from repro.util.rng import derive_rng
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    n: int
+    r: int
+    s: int
+    k: int
+    b: int
+    pr_avail: int
+    avg_avail: float
+    stdev_avail: float
+    repetitions: int
+
+    @property
+    def error_percent(self) -> float:
+        if self.avg_avail == 0:
+            return float("nan")
+        return 100.0 * (self.pr_avail - self.avg_avail) / self.avg_avail
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    cells: Tuple[Fig7Cell, ...]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["n", "r", "s", "k", "b", "prAvail", "avgAvail", "err %", "reps"],
+            title="Fig 7: prAvail_rnd vs empirical Random availability",
+        )
+        for cell in self.cells:
+            table.add_row(
+                [
+                    cell.n,
+                    cell.r,
+                    cell.s,
+                    cell.k,
+                    cell.b,
+                    cell.pr_avail,
+                    round(cell.avg_avail, 1),
+                    round(cell.error_percent, 1),
+                    cell.repetitions,
+                ]
+            )
+        return table.render()
+
+
+def generate(
+    configs: Tuple[Tuple[int, int, int, Tuple[int, ...]], ...] = (
+        (31, 5, 3, (3, 4, 5)),
+        (71, 5, 2, (2, 3, 4, 5)),
+    ),
+    b_values: Tuple[int, ...] = tuple(FIG7_B_LADDER),
+    seed: int = 2015,
+    effort: str = "",
+    reps: int = 0,
+) -> Fig7Result:
+    """configs entries are (n, r, s, k_values)."""
+    effort = effort or adversary_effort()
+    reps = reps or monte_carlo_reps()
+    cap = object_scale_cap()
+    cells: List[Fig7Cell] = []
+    for n, r, s, k_values in configs:
+        strategy = RandomStrategy(n, r)
+        for b in b_values:
+            if b > cap:
+                continue
+            placements = [
+                strategy.place(b, derive_rng(seed, "fig7", n, r, b, rep))
+                for rep in range(reps)
+            ]
+            for k in k_values:
+                avails = []
+                for rep, placement in enumerate(placements):
+                    attack = best_attack(
+                        placement,
+                        k,
+                        s,
+                        effort=effort,
+                        rng=derive_rng(seed, "fig7-attack", n, r, b, k, rep),
+                    )
+                    avails.append(b - attack.damage)
+                cells.append(
+                    Fig7Cell(
+                        n=n,
+                        r=r,
+                        s=s,
+                        k=k,
+                        b=b,
+                        pr_avail=pr_avail_rnd(n, k, r, s, b),
+                        avg_avail=statistics.fmean(avails),
+                        stdev_avail=(
+                            statistics.pstdev(avails) if len(avails) > 1 else 0.0
+                        ),
+                        repetitions=reps,
+                    )
+                )
+    return Fig7Result(cells=tuple(cells))

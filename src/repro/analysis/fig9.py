@@ -1,0 +1,120 @@
+"""Fig. 9: the paper's headline tables — Combo vs Random.
+
+Every cell compares the Combo DP's availability lower bound against
+Random's probable availability, normalized by the most Random could be
+improved upon:
+
+    cell = 100 * (lbAvail_co - prAvail_rnd) / (b - prAvail_rnd)
+
+White cells (positive) mean Combo *guarantees* more availability than
+Random probably achieves; dark cells (negative) mean Random probably wins.
+Fig. 9a is n = 71 (k in [s, 7]); Fig. 9b is n = 257 (k in [s, 8]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.common import PAPER_B_LADDER, percent
+from repro.core.combo import ComboStrategy
+from repro.core.rand_analysis import pr_avail_rnd
+from repro.designs.catalog import Existence
+from repro.util.tables import format_grid
+
+
+@dataclass(frozen=True)
+class Fig9Cell:
+    b: int
+    k: int
+    lb_combo: int
+    pr_avail: int
+
+    @property
+    def improvement_percent(self) -> float:
+        """(lb - pr) / (b - pr) as a percentage; nan when Random is perfect."""
+        return percent(self.lb_combo - self.pr_avail, self.b - self.pr_avail)
+
+    @property
+    def winner(self) -> str:
+        if self.lb_combo > self.pr_avail:
+            return "combo"
+        if self.lb_combo < self.pr_avail:
+            return "random"
+        return "tie"
+
+
+@dataclass(frozen=True)
+class Fig9Table:
+    n: int
+    r: int
+    s: int
+    b_values: Tuple[int, ...]
+    k_values: Tuple[int, ...]
+    cells: Dict[Tuple[int, int], Fig9Cell]  # (b, k) -> cell
+
+    def grid_percent(self) -> List[List[float]]:
+        return [
+            [self.cells[(b, k)].improvement_percent for k in self.k_values]
+            for b in self.b_values
+        ]
+
+    def render(self) -> str:
+        values = [
+            [f"{cell:.0f}" if cell == cell else "-" for cell in row]
+            for row in self.grid_percent()
+        ]
+        return format_grid(
+            list(self.b_values),
+            list(self.k_values),
+            values,
+            corner="b\\k",
+            title=f"Fig 9 (n={self.n}): r={self.r}, s={self.s} — improvement %",
+        )
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    n: int
+    tables: Tuple[Fig9Table, ...]
+
+    def table_for(self, r: int, s: int) -> Optional[Fig9Table]:
+        for table in self.tables:
+            if table.r == r and table.s == s:
+                return table
+        return None
+
+    def render(self) -> str:
+        return "\n\n".join(table.render() for table in self.tables)
+
+
+def generate(
+    n: int,
+    k_max: int,
+    r_values: Tuple[int, ...] = (2, 3, 4, 5),
+    b_values: Tuple[int, ...] = tuple(PAPER_B_LADDER),
+    tier: Existence = Existence.KNOWN,
+) -> Fig9Result:
+    """Fig. 9a: generate(71, 7). Fig. 9b: generate(257, 8)."""
+    tables: List[Fig9Table] = []
+    for r in r_values:
+        for s in range(2, r + 1):
+            strategy = ComboStrategy(n, r, s, tier=tier)
+            k_values = tuple(range(s, k_max + 1))
+            cells: Dict[Tuple[int, int], Fig9Cell] = {}
+            for b in b_values:
+                for k in k_values:
+                    lb = strategy.plan(b, k).lower_bound
+                    pr = pr_avail_rnd(n, k, r, s, b)
+                    cells[(b, k)] = Fig9Cell(b=b, k=k, lb_combo=lb, pr_avail=pr)
+            tables.append(
+                Fig9Table(
+                    n=n,
+                    r=r,
+                    s=s,
+                    b_values=b_values,
+                    k_values=k_values,
+                    cells=cells,
+                )
+            )
+    return Fig9Result(n=n, tables=tuple(tables))

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the library's workflows without writing Python:
+
+* ``figure``   — regenerate one of the paper's figures/tables as text;
+* ``place``    — compute a placement (combo/simple/random) and print or
+  save it as JSON;
+* ``attack``   — run the worst-case adversary against a saved placement;
+* ``bounds``   — compare the Combo guarantee against Random's probable
+  availability for a parameter point (one Fig. 9 cell);
+* ``catalog``  — query the design-existence catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.adversary import best_attack
+from repro.core.combo import ComboStrategy
+from repro.core.placement import Placement
+from repro.core.rand_analysis import pr_avail_rnd
+from repro.core.random_placement import RandomStrategy
+from repro.core.simple import SimpleStrategy
+from repro.designs.catalog import Existence, existence, largest_order, steiner_orders
+
+_FIGURES = (
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9a", "fig9b", "fig10", "fig11",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Worst-case availability replica placement (ICDCS 2015).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("which", choices=(*_FIGURES, "all"))
+
+    place = commands.add_parser("place", help="compute and emit a placement")
+    place.add_argument("--strategy", choices=("combo", "simple", "random"),
+                       default="combo")
+    place.add_argument("--n", type=int, required=True, help="number of nodes")
+    place.add_argument("--r", type=int, required=True, help="replicas per object")
+    place.add_argument("--b", type=int, required=True, help="number of objects")
+    place.add_argument("--s", type=int, default=None,
+                       help="fatality threshold (combo; default: majority)")
+    place.add_argument("--k", type=int, default=None,
+                       help="failures planned for (combo; default: s)")
+    place.add_argument("--x", type=int, default=1, help="overlap bound (simple)")
+    place.add_argument("--seed", type=int, default=0, help="rng seed (random)")
+    place.add_argument("--output", type=str, default=None,
+                       help="write placement JSON here instead of stdout")
+
+    attack = commands.add_parser("attack", help="worst-case attack a placement")
+    attack.add_argument("placement", type=str, help="placement JSON file")
+    attack.add_argument("--k", type=int, required=True, help="nodes to fail")
+    attack.add_argument("--s", type=int, required=True, help="fatality threshold")
+    attack.add_argument("--effort", choices=("fast", "auto", "exact"),
+                        default="auto")
+
+    bounds = commands.add_parser(
+        "bounds", help="Combo guarantee vs Random prediction for one cell"
+    )
+    for flag, help_text in (
+        ("--n", "nodes"), ("--r", "replicas"), ("--s", "threshold"),
+        ("--b", "objects"), ("--k", "failures"),
+    ):
+        bounds.add_argument(flag, type=int, required=True, help=help_text)
+
+    audit = commands.add_parser(
+        "audit", help="measure a placement's overlaps and certify floors"
+    )
+    audit.add_argument("placement", type=str, help="placement JSON file")
+    audit.add_argument("--k", type=int, action="append", required=True,
+                       help="failure count (repeatable)")
+    audit.add_argument("--s", type=int, action="append", required=True,
+                       help="fatality threshold (repeatable)")
+
+    catalog = commands.add_parser("catalog", help="query design existence")
+    catalog.add_argument("--r", type=int, required=True, help="block size")
+    catalog.add_argument("--t", type=int, required=True, help="design strength")
+    catalog.add_argument("--v", type=int, default=None,
+                         help="query one order (default: list orders)")
+    catalog.add_argument("--max-v", type=int, default=150)
+    catalog.add_argument("--tier", choices=("constructible", "known"),
+                         default="known")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "figure": _run_figure,
+        "place": _run_place,
+        "attack": _run_attack,
+        "audit": _run_audit,
+        "bounds": _run_bounds,
+        "catalog": _run_catalog,
+    }[args.command]
+    return handler(args)
+
+
+def _run_audit(args) -> int:
+    from repro.core.inspect import audit_placement
+
+    with open(args.placement, encoding="utf-8") as handle:
+        placement = Placement.from_dict(json.load(handle))
+    audit = audit_placement(
+        placement, k_values=tuple(args.k), s_values=tuple(args.s)
+    )
+    print(audit.render())
+    return 0
+
+
+def _run_figure(args) -> int:
+    from repro.analysis import fig2, fig3, fig4, fig5, fig7, fig8, fig9, fig10, fig11
+
+    def render(which: str) -> str:
+        if which == "fig2":
+            return fig2.generate().render()
+        if which == "fig3":
+            return fig3.generate().render()
+        if which == "fig4":
+            return fig4.generate().render()
+        if which == "fig5":
+            return fig5.generate().render()
+        if which == "fig6":
+            mu5, mu10 = fig5.generate_fig6()
+            return mu5.render() + "\n\n" + mu10.render()
+        if which == "fig7":
+            return fig7.generate().render()
+        if which == "fig8":
+            return fig8.generate().render()
+        if which == "fig9a":
+            return fig9.generate(71, 7).render()
+        if which == "fig9b":
+            return fig9.generate(257, 8).render()
+        if which == "fig10":
+            return "\n\n".join(fig10.generate(n).render() for n in (31, 71, 257))
+        if which == "fig11":
+            return fig11.generate().render()
+        raise AssertionError(which)
+
+    targets = _FIGURES if args.which == "all" else (args.which,)
+    for which in targets:
+        print(render(which))
+        print()
+    return 0
+
+
+def _run_place(args) -> int:
+    if args.strategy == "random":
+        placement = RandomStrategy(args.n, args.r).place(
+            args.b, random.Random(args.seed)
+        )
+    elif args.strategy == "simple":
+        strategy = SimpleStrategy(args.n, args.r, args.x)
+        placement = strategy.place(args.b)
+        print(
+            f"# Simple(x={args.x}) lambda={strategy.minimal_lambda(args.b)}",
+            file=sys.stderr,
+        )
+    else:
+        s = args.s if args.s is not None else (args.r + 1) // 2
+        k = args.k if args.k is not None else s
+        strategy = ComboStrategy(
+            args.n, args.r, s, tier=Existence.CONSTRUCTIBLE
+        )
+        plan = strategy.plan(args.b, k)
+        placement = strategy.place(args.b, k, plan=plan)
+        print(
+            f"# Combo lambdas={plan.lambdas} lower_bound={plan.lower_bound}",
+            file=sys.stderr,
+        )
+    payload = json.dumps(placement.to_dict())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {placement.b} objects to {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
+def _run_attack(args) -> int:
+    with open(args.placement, encoding="utf-8") as handle:
+        placement = Placement.from_dict(json.load(handle))
+    result = best_attack(placement, args.k, args.s, effort=args.effort)
+    print(f"placement: {placement}")
+    print(f"attack nodes: {sorted(result.nodes)}")
+    print(f"objects killed: {result.damage} / {placement.b}")
+    print(f"availability: {placement.b - result.damage}")
+    print(f"certified optimal: {'yes' if result.exact else 'no (lower bound)'}")
+    return 0
+
+
+def _run_bounds(args) -> int:
+    strategy = ComboStrategy(args.n, args.r, args.s)
+    plan = strategy.plan(args.b, args.k)
+    pr = pr_avail_rnd(args.n, args.k, args.r, args.s, args.b)
+    print(f"Combo plan lambdas: {plan.lambdas} (objects: {plan.counts})")
+    print(f"lbAvail_co (guaranteed):   {plan.lower_bound}")
+    print(f"prAvail_rnd (Random, probable): {pr}")
+    margin = plan.lower_bound - pr
+    denominator = args.b - pr
+    if denominator > 0:
+        print(
+            f"improvement: {margin} objects "
+            f"({100 * margin / denominator:.0f}% of b - prAvail)"
+        )
+    winner = "combo" if margin > 0 else ("random" if margin < 0 else "tie")
+    print(f"winner: {winner}")
+    return 0
+
+
+def _run_catalog(args) -> int:
+    tier = (
+        Existence.CONSTRUCTIBLE
+        if args.tier == "constructible"
+        else Existence.KNOWN
+    )
+    if args.v is not None:
+        result = existence(args.v, args.r, args.t)
+        print(f"{args.t}-({args.v},{args.r},1): {result.name}")
+        return 0
+    orders = steiner_orders(args.r, args.t, args.max_v, tier)
+    print(
+        f"{args.t}-(v,{args.r},1) orders at tier >= {tier.name}, "
+        f"v <= {args.max_v}:"
+    )
+    print(" ".join(str(v) for v in orders) if orders else "(none)")
+    best = largest_order(args.max_v, args.r, args.t, tier)
+    print(f"largest: {best}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

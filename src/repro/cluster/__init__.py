@@ -1,0 +1,65 @@
+"""Cluster simulation substrate: nodes, failures, liveness, scenarios.
+
+The execution environment the placements deploy into: a simulated cluster
+with per-node capacity and rack topology, failure injectors at three
+adversity levels (random, rack-correlated, worst-case), quorum-style
+liveness rules, and scenario drivers that tie placements to measurements.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.engine import (
+    compare_strategies,
+    run_attack_scenario,
+    run_churn_scenario,
+    run_random_failure_scenario,
+)
+from repro.cluster.failures import (
+    CorrelatedInjector,
+    RandomInjector,
+    WorstCaseInjector,
+    fail_specific,
+)
+from repro.cluster.metrics import AvailabilityTimeline, LoadStats, ScenarioReport
+from repro.cluster.node import Node, NodeState
+from repro.cluster.objects import (
+    LivenessRule,
+    StoredObject,
+    majority_quorum_rule,
+    read_one_rule,
+    threshold_rule,
+    write_all_rule,
+)
+from repro.cluster.workload import (
+    ChurnEvent,
+    ChurnKind,
+    churn_trace,
+    geometric_object_counts,
+)
+
+__all__ = [
+    "AvailabilityTimeline",
+    "ChurnEvent",
+    "ChurnKind",
+    "Cluster",
+    "ClusterError",
+    "CorrelatedInjector",
+    "LivenessRule",
+    "LoadStats",
+    "Node",
+    "NodeState",
+    "RandomInjector",
+    "ScenarioReport",
+    "StoredObject",
+    "WorstCaseInjector",
+    "churn_trace",
+    "compare_strategies",
+    "fail_specific",
+    "geometric_object_counts",
+    "majority_quorum_rule",
+    "read_one_rule",
+    "run_attack_scenario",
+    "run_churn_scenario",
+    "run_random_failure_scenario",
+    "threshold_rule",
+    "write_all_rule",
+]

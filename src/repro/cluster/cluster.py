@@ -1,0 +1,140 @@
+"""The simulated cluster: nodes, hosted replicas, failure state."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.cluster.node import Node, NodeState
+from repro.cluster.objects import LivenessRule, StoredObject
+from repro.core.placement import Placement
+
+
+class ClusterError(RuntimeError):
+    """Raised on invalid cluster operations (double faults, unknown ids...)."""
+
+
+class Cluster:
+    """``n`` nodes hosting replicated objects, with failure injection.
+
+    The cluster is the execution substrate for placements: apply a
+    :class:`~repro.core.placement.Placement`, fail nodes (by hand or via
+    the injectors in :mod:`repro.cluster.failures`), and query object
+    liveness under a :class:`~repro.cluster.objects.LivenessRule`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        capacity: Optional[int] = None,
+        racks: int = 1,
+    ) -> None:
+        if n < 1:
+            raise ClusterError(f"need at least one node, got {n}")
+        if racks < 1:
+            raise ClusterError(f"need at least one rack, got {racks}")
+        self.nodes: List[Node] = [
+            Node(node_id=i, capacity=capacity, rack=i % racks) for i in range(n)
+        ]
+        self.objects: Dict[int, StoredObject] = {}
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def racks(self) -> int:
+        return max(node.rack for node in self.nodes) + 1
+
+    # -- placement ---------------------------------------------------------
+
+    def apply_placement(self, placement: Placement) -> None:
+        """Host every object of ``placement`` (object ids offset past existing)."""
+        if placement.n != self.n:
+            raise ClusterError(
+                f"placement is for {placement.n} nodes, cluster has {self.n}"
+            )
+        base = max(self.objects) + 1 if self.objects else 0
+        for i, replica_nodes in enumerate(placement.replica_sets):
+            self.add_object(base + i, replica_nodes)
+
+    def add_object(self, obj_id: int, replica_nodes: Iterable[int]) -> None:
+        if obj_id in self.objects:
+            raise ClusterError(f"object {obj_id} already exists")
+        nodes = frozenset(replica_nodes)
+        for node_id in nodes:
+            if not 0 <= node_id < self.n:
+                raise ClusterError(f"node {node_id} outside [0, {self.n})")
+        for node_id in nodes:
+            self.nodes[node_id].host(obj_id)
+        self.objects[obj_id] = StoredObject(obj_id=obj_id, replica_nodes=nodes)
+
+    def remove_object(self, obj_id: int) -> None:
+        if obj_id not in self.objects:
+            raise ClusterError(f"object {obj_id} does not exist")
+        for node_id in self.objects[obj_id].replica_nodes:
+            self.nodes[node_id].evict(obj_id)
+        del self.objects[obj_id]
+
+    # -- failures ------------------------------------------------------------
+
+    def fail_nodes(self, node_ids: Iterable[int]) -> None:
+        ids = list(node_ids)
+        for node_id in ids:
+            if not 0 <= node_id < self.n:
+                raise ClusterError(f"node {node_id} outside [0, {self.n})")
+            if not self.nodes[node_id].is_up:
+                raise ClusterError(f"node {node_id} is already failed")
+        for node_id in ids:
+            self.nodes[node_id].fail()
+
+    def recover_all(self) -> None:
+        for node in self.nodes:
+            node.recover()
+
+    def failed_nodes(self) -> FrozenSet[int]:
+        return frozenset(
+            node.node_id for node in self.nodes if node.state == NodeState.FAILED
+        )
+
+    # -- liveness ------------------------------------------------------------
+
+    def live_objects(self, rule: LivenessRule) -> List[int]:
+        failed = self.failed_nodes()
+        return [
+            obj.obj_id
+            for obj in self.objects.values()
+            if obj.alive(failed, rule)
+        ]
+
+    def dead_objects(self, rule: LivenessRule) -> List[int]:
+        failed = self.failed_nodes()
+        return [
+            obj.obj_id
+            for obj in self.objects.values()
+            if not obj.alive(failed, rule)
+        ]
+
+    def availability(self, rule: LivenessRule) -> float:
+        if not self.objects:
+            return 1.0
+        return len(self.live_objects(rule)) / len(self.objects)
+
+    # -- introspection ---------------------------------------------------------
+
+    def loads(self) -> List[int]:
+        return [node.load for node in self.nodes]
+
+    def placement_snapshot(self) -> Placement:
+        """The current object population as a Placement (ids renumbered)."""
+        if not self.objects:
+            raise ClusterError("cluster hosts no objects")
+        ordered = [self.objects[obj_id] for obj_id in sorted(self.objects)]
+        return Placement.from_replica_sets(
+            self.n, [obj.replica_nodes for obj in ordered], strategy="snapshot"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(n={self.n}, objects={len(self.objects)}, "
+            f"failed={len(self.failed_nodes())})"
+        )

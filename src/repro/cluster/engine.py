@@ -1,0 +1,116 @@
+"""Scenario driver: placement -> failure injection -> measurement."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.failures import RandomInjector, WorstCaseInjector
+from repro.cluster.metrics import LoadStats, ScenarioReport
+from repro.cluster.objects import LivenessRule
+from repro.core.placement import Placement
+
+
+def run_attack_scenario(
+    placement: Placement,
+    k: int,
+    rule: LivenessRule,
+    effort: str = "auto",
+    racks: int = 1,
+    rng: Optional[random.Random] = None,
+) -> ScenarioReport:
+    """Deploy ``placement`` on a fresh cluster and apply a worst-case attack."""
+    cluster = Cluster(placement.n, racks=racks)
+    cluster.apply_placement(placement)
+    injector = WorstCaseInjector(effort=effort, rng=rng)
+    failed = injector.inject(cluster, k, rule)
+    lost = len(cluster.dead_objects(rule))
+    return ScenarioReport(
+        strategy=placement.strategy or "unknown",
+        b=placement.b,
+        k=k,
+        s=rule.s,
+        failed_nodes=tuple(failed),
+        objects_lost=lost,
+        load=LoadStats.from_loads(cluster.loads()),
+    )
+
+
+def run_random_failure_scenario(
+    placement: Placement,
+    k: int,
+    rule: LivenessRule,
+    repetitions: int = 20,
+    rng: Optional[random.Random] = None,
+) -> List[ScenarioReport]:
+    """Deploy once, fail k random nodes ``repetitions`` times (recovering between)."""
+    rng = rng or random.Random()
+    cluster = Cluster(placement.n)
+    cluster.apply_placement(placement)
+    injector = RandomInjector(rng=rng)
+    reports = []
+    for _ in range(repetitions):
+        failed = injector.inject(cluster, k, rule)
+        lost = len(cluster.dead_objects(rule))
+        reports.append(
+            ScenarioReport(
+                strategy=placement.strategy or "unknown",
+                b=placement.b,
+                k=k,
+                s=rule.s,
+                failed_nodes=tuple(failed),
+                objects_lost=lost,
+                load=LoadStats.from_loads(cluster.loads()),
+            )
+        )
+        cluster.recover_all()
+    return reports
+
+
+def compare_strategies(
+    placements: List[Placement],
+    k: int,
+    rule: LivenessRule,
+    effort: str = "auto",
+) -> List[ScenarioReport]:
+    """Worst-case-attack every placement; one report per strategy."""
+    return [run_attack_scenario(p, k, rule, effort=effort) for p in placements]
+
+
+def run_churn_scenario(
+    adaptive,
+    events,
+    k: int,
+    rule: LivenessRule,
+    measure_every: int = 16,
+    effort: str = "fast",
+    on_sample: Optional[Callable[[int, int, int, int], None]] = None,
+):
+    """Drive an AdaptiveComboPlacement through a churn trace with periodic attacks.
+
+    Every ``measure_every`` events the current population is snapshotted,
+    attacked with a worst-case injector, and (optionally) reported through
+    ``on_sample(step, b, available, lower_bound)``.
+    """
+    from repro.cluster.workload import ChurnKind  # local to avoid cycle at import
+
+    rng = random.Random(1)
+    live: List[int] = []
+    for step, event in enumerate(events):
+        if event.kind == ChurnKind.ARRIVAL:
+            live.append(adaptive.add_object())
+        elif live:
+            victim = live.pop(rng.randrange(len(live)))
+            adaptive.remove_object(victim)
+        if live and step % measure_every == measure_every - 1:
+            placement = adaptive.placement()
+            report = run_attack_scenario(placement, k, rule, effort=effort)
+            if on_sample is not None:
+                on_sample(
+                    step,
+                    placement.b,
+                    report.objects_available,
+                    adaptive.lower_bound(),
+                )
+    return live

@@ -1,0 +1,87 @@
+"""Failure injectors: who decides which k nodes die.
+
+Three adversity levels, matching the paper's comparison axes:
+
+* :class:`RandomInjector` — nodes fail uniformly at random (the model of
+  the prior work the paper contrasts itself with, e.g. Yu & Gibbons);
+* :class:`CorrelatedInjector` — a whole rack (or another correlated group)
+  fails together, a common practical failure domain;
+* :class:`WorstCaseInjector` — the paper's adversary: picks the k nodes
+  that kill the most objects, via the :mod:`repro.core.adversary` engines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.objects import LivenessRule
+from repro.core.adversary import best_attack
+
+
+class RandomInjector:
+    """Fail ``k`` uniformly random up-nodes."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random()
+
+    def select(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
+        up = [node.node_id for node in cluster.nodes if node.is_up]
+        if k > len(up):
+            raise ClusterError(f"cannot fail {k} of {len(up)} up nodes")
+        return sorted(self.rng.sample(up, k))
+
+    def inject(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
+        nodes = self.select(cluster, k, rule)
+        cluster.fail_nodes(nodes)
+        return nodes
+
+
+class CorrelatedInjector:
+    """Fail all nodes of one failure domain (rack), chosen at random."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random()
+
+    def select(self, cluster: Cluster, rack: Optional[int] = None) -> List[int]:
+        if rack is None:
+            rack = self.rng.randrange(cluster.racks)
+        nodes = [
+            node.node_id
+            for node in cluster.nodes
+            if node.rack == rack and node.is_up
+        ]
+        if not nodes:
+            raise ClusterError(f"rack {rack} has no up nodes")
+        return nodes
+
+    def inject(self, cluster: Cluster, rack: Optional[int] = None) -> List[int]:
+        nodes = self.select(cluster, rack)
+        cluster.fail_nodes(nodes)
+        return nodes
+
+
+class WorstCaseInjector:
+    """The paper's adversary: fail the k nodes that disable the most objects."""
+
+    def __init__(self, effort: str = "auto", rng: Optional[random.Random] = None) -> None:
+        self.effort = effort
+        self.rng = rng
+
+    def select(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
+        placement = cluster.placement_snapshot()
+        attack = best_attack(placement, k, rule.s, effort=self.effort, rng=self.rng)
+        return sorted(attack.nodes)
+
+    def inject(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
+        nodes = self.select(cluster, k, rule)
+        cluster.fail_nodes(nodes)
+        return nodes
+
+
+def fail_specific(cluster: Cluster, nodes: Sequence[int]) -> List[int]:
+    """Fail an explicit node list (scenario scripting helper)."""
+    node_list = sorted(nodes)
+    cluster.fail_nodes(node_list)
+    return node_list

@@ -1,0 +1,70 @@
+"""Node model for the cluster simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Set
+
+
+class NodeState(Enum):
+    """Lifecycle of a simulated node; the paper's model is UP/FAILED."""
+
+    UP = "up"
+    FAILED = "failed"
+
+
+@dataclass
+class Node:
+    """A physical node hosting object replicas.
+
+    Capacity is the maximum number of replicas the node may host
+    (``None`` = unbounded); the Random strategy's load quota and the
+    paper's per-node capacity discussion (Sec. IV-D) map onto it.
+    """
+
+    node_id: int
+    capacity: Optional[int] = None
+    rack: int = 0
+    state: NodeState = NodeState.UP
+    replicas: Set[int] = field(default_factory=set)
+
+    @property
+    def is_up(self) -> bool:
+        return self.state == NodeState.UP
+
+    @property
+    def load(self) -> int:
+        return len(self.replicas)
+
+    def host(self, obj_id: int) -> None:
+        """Place one replica of ``obj_id`` here."""
+        if obj_id in self.replicas:
+            raise ValueError(
+                f"node {self.node_id} already hosts a replica of object {obj_id}"
+            )
+        if self.capacity is not None and self.load >= self.capacity:
+            raise ValueError(
+                f"node {self.node_id} is full (capacity {self.capacity})"
+            )
+        self.replicas.add(obj_id)
+
+    def evict(self, obj_id: int) -> None:
+        """Remove this node's replica of ``obj_id``."""
+        if obj_id not in self.replicas:
+            raise ValueError(
+                f"node {self.node_id} hosts no replica of object {obj_id}"
+            )
+        self.replicas.discard(obj_id)
+
+    def fail(self) -> None:
+        self.state = NodeState.FAILED
+
+    def recover(self) -> None:
+        self.state = NodeState.UP
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.node_id}, {self.state.value}, load={self.load}, "
+            f"rack={self.rack})"
+        )

@@ -1,0 +1,63 @@
+"""Synthetic workloads: object populations and churn traces.
+
+The paper evaluates static object populations at geometric sizes
+(b = 600, 1200, ..., 38400) and mentions object churn as future work; this
+module generates both shapes so examples and the adaptive-placement
+extension have realistic drivers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Optional
+
+
+def geometric_object_counts(start: int = 600, doublings: int = 6) -> List[int]:
+    """The paper's object-count ladder: start, 2*start, ..., start * 2^doublings."""
+    if start < 1 or doublings < 0:
+        raise ValueError(
+            f"need start >= 1 and doublings >= 0, got {start}, {doublings}"
+        )
+    return [start << i for i in range(doublings + 1)]
+
+
+class ChurnKind(Enum):
+    ARRIVAL = "arrival"
+    DEPARTURE = "departure"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One workload step: an object arrives or a random live object departs."""
+
+    kind: ChurnKind
+    # For departures the driver picks the victim; traces stay placement-free.
+
+
+def churn_trace(
+    steps: int,
+    arrival_probability: float = 0.6,
+    warmup_arrivals: int = 32,
+    rng: Optional[random.Random] = None,
+) -> Iterator[ChurnEvent]:
+    """A biased birth–death trace: warmup arrivals, then mixed churn.
+
+    ``arrival_probability > 0.5`` grows the population over time, matching
+    the "new objects come and go" regime of the paper's Sec. IV-D.
+    """
+    if not 0.0 <= arrival_probability <= 1.0:
+        raise ValueError(
+            f"arrival_probability must be in [0, 1], got {arrival_probability}"
+        )
+    if steps < 0 or warmup_arrivals < 0:
+        raise ValueError("steps and warmup_arrivals must be non-negative")
+    rng = rng or random.Random()
+    for _ in range(warmup_arrivals):
+        yield ChurnEvent(kind=ChurnKind.ARRIVAL)
+    for _ in range(steps):
+        if rng.random() < arrival_probability:
+            yield ChurnEvent(kind=ChurnKind.ARRIVAL)
+        else:
+            yield ChurnEvent(kind=ChurnKind.DEPARTURE)

@@ -1,0 +1,212 @@
+"""Adaptive Combo placement under object churn (the paper's future work).
+
+Sec. IV-D of the paper: "an algorithm to adapt our placements as new
+objects come and go would be an interesting advance; we leave investigation
+of such an algorithm to future work." This module implements a natural such
+algorithm as an extension:
+
+* each stratum ``x`` owns a lazily-extended stream of packing blocks
+  (copies of its subsystem design) plus a free list of released blocks;
+* arrivals draw from the free list first (keeping the in-use block multiset
+  inside the already-paid lambda), otherwise from the stream of the stratum
+  a periodically-refreshed DP plan says is under-filled;
+* departures return blocks to their stratum's free list.
+
+The invariant maintained is the Simple/Combo packing property itself: the
+in-use blocks of stratum ``x`` are always a sub-multiset of ``c_x`` copies
+of the subsystem design, so they form a ``(x+1)-(n, r, mu_x * c_x)``
+packing and Lemma 3 applies with ``lambda_x = mu_x * c_x``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.bounds import lb_avail_combo
+from repro.core.combo import ComboStrategy
+from repro.core.placement import Placement
+from repro.designs.blocks import Block
+from repro.designs.catalog import Existence, build
+from repro.designs.transforms import all_subsets_blocks
+from repro.util.combinatorics import ceil_div
+
+
+class _Stratum:
+    """Block supply for one Simple(x, ·) stratum."""
+
+    def __init__(self, n: int, r: int, x: int, subsystem) -> None:
+        self.n = n
+        self.r = r
+        self.x = x
+        self.subsystem = subsystem
+        self.free: List[Block] = []
+        self.drawn = 0  # blocks ever taken from the stream
+        self.in_use = 0
+        self._stream = self._make_stream()
+
+    def _make_stream(self) -> Iterator[Block]:
+        if self.x + 1 == self.r:
+
+            def cycle_trivial() -> Iterator[Block]:
+                while True:
+                    yield from all_subsets_blocks(self.n, self.r)
+
+            return cycle_trivial()
+
+        def cycle() -> Iterator[Block]:
+            chunk_designs = [
+                build(chunk.nx, self.r, self.x + 1)
+                for chunk in self.subsystem.chunks
+            ]
+            offsets = []
+            offset = 0
+            for design in chunk_designs:
+                offsets.append(offset)
+                offset += design.v
+            while True:
+                for design, off in zip(chunk_designs, offsets):
+                    for block in design.blocks:
+                        yield tuple(point + off for point in block)
+
+        return cycle()
+
+    def take(self) -> Block:
+        self.in_use += 1
+        if self.free:
+            return self.free.pop()
+        block = next(self._stream)
+        self.drawn += 1
+        return block
+
+    def release(self, block: Block) -> None:
+        self.free.append(block)
+        self.in_use -= 1
+
+    @property
+    def current_lambda(self) -> int:
+        """The packing multiplicity paid so far: mu * copies started."""
+        if self.drawn == 0:
+            return 0
+        if self.x + 1 == self.r:
+            from repro.util.combinatorics import binom
+
+            return ceil_div(self.drawn, binom(self.n, self.r))
+        # One mu-fold pass over all chunks yields unit_capacity blocks.
+        blocks_per_pass = self.subsystem.unit_capacity
+        passes = ceil_div(self.drawn, max(blocks_per_pass, 1))
+        return self.subsystem.mu * passes
+
+
+class AdaptiveComboPlacement:
+    """A Combo placement that absorbs arrivals and departures online.
+
+    Args:
+        n, r, s: system shape (paper notation).
+        k: failure count the DP plans against.
+        expected_objects: initial sizing hint for the DP plan.
+        replan_interval: arrivals between DP refreshes; the plan drives
+            which stratum new objects land in.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        r: int,
+        s: int,
+        k: int,
+        expected_objects: int = 64,
+        replan_interval: int = 64,
+        tier: Existence = Existence.CONSTRUCTIBLE,
+    ) -> None:
+        self.strategy = ComboStrategy(n, r, s, tier=tier)
+        self.n, self.r, self.s, self.k = n, r, s, k
+        self.replan_interval = max(1, replan_interval)
+        self._strata: List[Optional[_Stratum]] = [
+            _Stratum(n, r, x, sub) if sub is not None else None
+            for x, sub in enumerate(self.strategy.subsystems)
+        ]
+        self._assignments: Dict[int, tuple] = {}  # obj_id -> (x, block)
+        self._next_id = 0
+        self._arrivals_since_plan = 0
+        self._plan_counts = self._fresh_plan(max(1, expected_objects))
+
+    def _fresh_plan(self, b: int) -> List[int]:
+        plan = self.strategy.plan(b, self.k)
+        return list(plan.counts)
+
+    # -- churn operations ---------------------------------------------------
+
+    def add_object(self) -> int:
+        """Place one new object; returns its id."""
+        self._arrivals_since_plan += 1
+        if self._arrivals_since_plan >= self.replan_interval:
+            self._arrivals_since_plan = 0
+            projected = max(len(self._assignments) * 2, 1)
+            self._plan_counts = self._fresh_plan(projected)
+        x = self._pick_stratum()
+        stratum = self._strata[x]
+        assert stratum is not None
+        block = stratum.take()
+        obj_id = self._next_id
+        self._next_id += 1
+        self._assignments[obj_id] = (x, block)
+        return obj_id
+
+    def remove_object(self, obj_id: int) -> None:
+        """Release an object's replicas (block returns to its stratum pool)."""
+        if obj_id not in self._assignments:
+            raise KeyError(f"unknown object {obj_id}")
+        x, block = self._assignments.pop(obj_id)
+        stratum = self._strata[x]
+        assert stratum is not None
+        stratum.release(block)
+
+    def _pick_stratum(self) -> int:
+        """Prefer free-listed blocks, then the plan's most under-filled stratum."""
+        for x, stratum in enumerate(self._strata):
+            if stratum is not None and stratum.free:
+                return x
+        best_x = None
+        best_deficit = 0
+        for x, stratum in enumerate(self._strata):
+            if stratum is None:
+                continue
+            target = self._plan_counts[x] if x < len(self._plan_counts) else 0
+            deficit = target - stratum.in_use
+            if best_x is None or deficit > best_deficit:
+                best_x = x
+                best_deficit = deficit
+        if best_x is None:
+            raise RuntimeError("no stratum available")
+        return best_x
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._assignments)
+
+    def placement(self) -> Placement:
+        """Snapshot of the live objects as a Placement (ids renumbered)."""
+        if not self._assignments:
+            raise RuntimeError("no live objects to snapshot")
+        return Placement.from_replica_sets(
+            self.n,
+            [block for (_x, block) in self._assignments.values()],
+            strategy="AdaptiveCombo",
+        )
+
+    def current_lambdas(self) -> List[int]:
+        """The paid packing multiplicity per stratum (0 for unused strata)."""
+        return [
+            stratum.current_lambda if stratum is not None else 0
+            for stratum in self._strata
+        ]
+
+    def lower_bound(self, k: Optional[int] = None) -> int:
+        """Lemma 3 with the paid lambdas — valid for the live placement."""
+        k = self.k if k is None else k
+        b = self.num_objects
+        if b == 0:
+            return 0
+        return lb_avail_combo(b, k, self.s, self.current_lambdas())

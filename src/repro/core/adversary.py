@@ -1,0 +1,397 @@
+"""Worst-case failure adversaries: choosing k nodes to kill the most objects.
+
+``Avail(pi)`` (paper Definition 1) minimizes surviving objects over all
+C(n, k) failure sets. Finding the minimizing set is a max-coverage-style
+problem (NP-hard in general), so this module offers a ladder of engines:
+
+* :class:`ExhaustiveAdversary` — exact, enumerates every k-subset;
+  only sensible when ``C(n, k)`` is small.
+* :class:`BranchAndBoundAdversary` — exact, prunes with a deficit-based
+  optimistic bound and a strong heuristic incumbent; practical far beyond
+  plain enumeration, with an optional node budget after which it degrades
+  gracefully into an anytime heuristic (flagged via ``exact=False``).
+* :class:`GreedyAdversary` — picks nodes one at a time maximizing resulting
+  damage; fast, no optimality guarantee.
+* :class:`LocalSearchAdversary` — greedy + steepest-descent swaps with
+  random restarts; the workhorse for the paper-scale simulations (Figs. 2
+  and 7), where it empirically matches exact search (see
+  ``bench_ablation_adversary``).
+
+All engines report *damage* (failed objects); availability is ``b - damage``.
+Heuristic engines under-estimate worst-case damage, therefore over-estimate
+availability — callers that need a guaranteed direction use the ``exact``
+flag on the result.
+
+Implementation detail: damage evaluation is vectorized over numpy when it
+is importable and falls back to pure Python otherwise; both paths are
+exercised in the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.placement import Placement
+from repro.util.combinatorics import binom
+
+try:  # optional accelerator
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _force_pure_python
+    _np = None
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """The outcome of a worst-case search."""
+
+    nodes: Tuple[int, ...]  # the failure set found
+    damage: int  # objects killed by it
+    exact: bool  # True iff this is provably the maximum damage
+    evaluations: int  # damage evaluations spent (effort measure)
+
+    def availability(self, b: int) -> int:
+        return b - self.damage
+
+
+def damage(placement: Placement, failed_nodes: Iterable[int], s: int) -> int:
+    """Number of objects with at least ``s`` replicas on ``failed_nodes``."""
+    failed = frozenset(failed_nodes)
+    count = 0
+    for nodes in placement.replica_sets:
+        if len(nodes & failed) >= s:
+            count += 1
+    return count
+
+
+class _DamageModel:
+    """Shared incremental damage machinery over a placement.
+
+    Keeps the object-by-node incidence (numpy ``int16`` matrix or per-node
+    object lists) so engines can evaluate candidate swaps in O(b) or better.
+    """
+
+    def __init__(self, placement: Placement, s: int) -> None:
+        if not 1 <= s <= placement.r:
+            raise ValueError(f"need 1 <= s <= r={placement.r}, got s={s}")
+        self.placement = placement
+        self.s = s
+        self.n = placement.n
+        self.b = placement.b
+        self.use_numpy = _np is not None and not _FORCE_PURE_PYTHON[0]
+        if self.use_numpy:
+            matrix = _np.zeros((self.b, self.n), dtype=_np.int16)
+            for obj_id, nodes in enumerate(placement.replica_sets):
+                for node in nodes:
+                    matrix[obj_id, node] = 1
+            self.matrix = matrix
+        else:
+            self.node_objects: List[List[int]] = placement.node_to_objects()
+
+    # -- hit-vector operations -------------------------------------------
+
+    def empty_hits(self):
+        if self.use_numpy:
+            return _np.zeros(self.b, dtype=_np.int16)
+        return [0] * self.b
+
+    def add_node(self, hits, node: int):
+        if self.use_numpy:
+            return hits + self.matrix[:, node]
+        updated = list(hits)
+        for obj_id in self.node_objects[node]:
+            updated[obj_id] += 1
+        return updated
+
+    def remove_node(self, hits, node: int):
+        if self.use_numpy:
+            return hits - self.matrix[:, node]
+        updated = list(hits)
+        for obj_id in self.node_objects[node]:
+            updated[obj_id] -= 1
+        return updated
+
+    def hits_for(self, nodes: Sequence[int]):
+        hits = self.empty_hits()
+        for node in nodes:
+            hits = self.add_node(hits, node)
+        return hits
+
+    def damage_of(self, hits) -> int:
+        if self.use_numpy:
+            return int((hits >= self.s).sum())
+        return sum(1 for h in hits if h >= self.s)
+
+    def best_addition(self, hits, banned: Sequence[int]) -> Tuple[int, int]:
+        """(node, resulting damage) maximizing damage after adding one node."""
+        if self.use_numpy:
+            totals = hits[:, None] + self.matrix
+            damages = (totals >= self.s).sum(axis=0)
+            if banned:
+                damages[list(banned)] = -1
+            node = int(damages.argmax())
+            return node, int(damages[node])
+        banned_set = set(banned)
+        best_node, best_damage = -1, -1
+        for node in range(self.n):
+            if node in banned_set:
+                continue
+            updated = self.add_node(hits, node)
+            d = self.damage_of(updated)
+            if d > best_damage:
+                best_node, best_damage = node, d
+        return best_node, best_damage
+
+
+# Toggle for tests: force the pure-Python code paths even when numpy exists.
+_FORCE_PURE_PYTHON = [False]
+
+
+class ExhaustiveAdversary:
+    """Exact search by full enumeration; guarded by a subset-count limit."""
+
+    def __init__(self, max_subsets: int = 2_000_000) -> None:
+        self.max_subsets = max_subsets
+
+    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
+        n = placement.n
+        if not 1 <= k < n:
+            raise ValueError(f"need 1 <= k < n, got k={k}, n={n}")
+        total = binom(n, k)
+        if total > self.max_subsets:
+            raise ValueError(
+                f"C({n},{k}) = {total} exceeds the exhaustive limit "
+                f"{self.max_subsets}; use BranchAndBoundAdversary"
+            )
+        model = _DamageModel(placement, s)
+        best_nodes: Tuple[int, ...] = ()
+        best_damage = -1
+        evaluations = 0
+        chosen: List[int] = []
+
+        def recurse(start: int, hits) -> None:
+            nonlocal best_nodes, best_damage, evaluations
+            if len(chosen) == k:
+                evaluations += 1
+                d = model.damage_of(hits)
+                if d > best_damage:
+                    best_damage = d
+                    best_nodes = tuple(chosen)
+                return
+            remaining = k - len(chosen)
+            for node in range(start, n - remaining + 1):
+                chosen.append(node)
+                recurse(node + 1, model.add_node(hits, node))
+                chosen.pop()
+
+        recurse(0, model.empty_hits())
+        return AttackResult(
+            nodes=best_nodes, damage=best_damage, exact=True, evaluations=evaluations
+        )
+
+
+class GreedyAdversary:
+    """Myopically add the node that maximizes resulting damage."""
+
+    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
+        model = _DamageModel(placement, s)
+        hits = model.empty_hits()
+        chosen: List[int] = []
+        evaluations = 0
+        for _ in range(k):
+            node, _damage_after = model.best_addition(hits, banned=chosen)
+            evaluations += model.n - len(chosen)
+            chosen.append(node)
+            hits = model.add_node(hits, node)
+        return AttackResult(
+            nodes=tuple(sorted(chosen)),
+            damage=model.damage_of(hits),
+            exact=False,
+            evaluations=evaluations,
+        )
+
+
+class LocalSearchAdversary:
+    """Greedy seed + steepest swap descent, with random restarts.
+
+    Each sweep tries every (remove u, add v) swap and takes the best strict
+    improvement, iterating to a local optimum. Restarts re-seed from random
+    k-subsets. Deterministic under a seeded ``rng``.
+    """
+
+    def __init__(self, restarts: int = 4, rng: Optional[random.Random] = None) -> None:
+        if restarts < 0:
+            raise ValueError(f"restarts must be >= 0, got {restarts}")
+        self.restarts = restarts
+        self.rng = rng or random.Random(0)
+
+    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
+        model = _DamageModel(placement, s)
+        evaluations = 0
+
+        def polish(seed_nodes: List[int]) -> Tuple[Tuple[int, ...], int, int]:
+            nodes = list(seed_nodes)
+            hits = model.hits_for(nodes)
+            current = model.damage_of(hits)
+            spent = 0
+            improved = True
+            while improved:
+                improved = False
+                for position in range(len(nodes)):
+                    u = nodes[position]
+                    without = model.remove_node(hits, u)
+                    v, d = model.best_addition(
+                        without, banned=[w for w in nodes if w != u]
+                    )
+                    spent += model.n
+                    if d > current:
+                        nodes[position] = v
+                        hits = model.add_node(without, v)
+                        current = d
+                        improved = True
+            return tuple(sorted(nodes)), current, spent
+
+        greedy = GreedyAdversary().attack(placement, k, s)
+        evaluations += greedy.evaluations
+        best_nodes, best_damage, spent = polish(list(greedy.nodes))
+        evaluations += spent
+        for _ in range(self.restarts):
+            seed = self.rng.sample(range(model.n), k)
+            nodes, dmg, spent = polish(seed)
+            evaluations += spent
+            if dmg > best_damage:
+                best_nodes, best_damage = nodes, dmg
+        return AttackResult(
+            nodes=best_nodes, damage=best_damage, exact=False, evaluations=evaluations
+        )
+
+
+class BranchAndBoundAdversary:
+    """Exact search with deficit-based pruning and a heuristic incumbent.
+
+    Enumerates k-subsets in ascending node order; at each partial set it
+    bounds the best completion by counting objects that are still killable:
+    deficit (replicas still needed) at most the remaining slots *and*
+    reachable among the not-yet-considered nodes. With the local-search
+    incumbent installed up front, most branches die immediately.
+
+    ``max_nodes`` bounds the search-tree size; on exhaustion the best-known
+    attack is returned with ``exact=False``.
+    """
+
+    def __init__(
+        self, max_nodes: Optional[int] = 50_000_000, restarts: int = 2
+    ) -> None:
+        self.max_nodes = max_nodes
+        self.restarts = restarts
+
+    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
+        model = _DamageModel(placement, s)
+        n, b = model.n, model.b
+        incumbent = LocalSearchAdversary(restarts=self.restarts).attack(
+            placement, k, s
+        )
+        best_damage = incumbent.damage
+        best_nodes = incumbent.nodes
+        evaluations = incumbent.evaluations
+        budget = [self.max_nodes if self.max_nodes is not None else -1]
+        exhausted = [False]
+
+        if model.use_numpy:
+            # suffix_replicas[o, j] = replicas of object o on nodes >= j.
+            reversed_cumsum = _np.cumsum(model.matrix[:, ::-1], axis=1)[:, ::-1]
+            suffix = _np.concatenate(
+                [reversed_cumsum, _np.zeros((b, 1), dtype=reversed_cumsum.dtype)],
+                axis=1,
+            )
+        else:
+            suffix_lists = [[0] * (n + 1) for _ in range(b)]
+            for obj_id, nodes in enumerate(placement.replica_sets):
+                row = suffix_lists[obj_id]
+                for node in nodes:
+                    row[node] += 1
+                for j in range(n - 1, -1, -1):
+                    row[j] += row[j + 1]
+            suffix = suffix_lists
+
+        chosen: List[int] = []
+
+        def optimistic_bound(hits, start: int, slots: int) -> int:
+            if model.use_numpy:
+                deficit = model.s - hits
+                killable = (deficit <= 0) | (
+                    (deficit <= slots) & (suffix[:, start] >= deficit)
+                )
+                return int(killable.sum())
+            count = 0
+            for obj_id in range(b):
+                deficit = model.s - hits[obj_id]
+                if deficit <= 0:
+                    count += 1
+                elif deficit <= slots and suffix[obj_id][start] >= deficit:
+                    count += 1
+            return count
+
+        def recurse(start: int, hits) -> None:
+            nonlocal best_damage, best_nodes, evaluations
+            if exhausted[0]:
+                return
+            slots = k - len(chosen)
+            if slots == 0:
+                evaluations += 1
+                d = model.damage_of(hits)
+                if d > best_damage:
+                    best_damage = d
+                    best_nodes = tuple(chosen)
+                return
+            if budget[0] == 0:
+                exhausted[0] = True
+                return
+            if budget[0] > 0:
+                budget[0] -= 1
+            if optimistic_bound(hits, start, slots) <= best_damage:
+                return
+            for node in range(start, n - slots + 1):
+                chosen.append(node)
+                recurse(node + 1, model.add_node(hits, node))
+                chosen.pop()
+                if exhausted[0]:
+                    return
+
+        recurse(0, model.empty_hits())
+        return AttackResult(
+            nodes=tuple(sorted(best_nodes)),
+            damage=best_damage,
+            exact=not exhausted[0],
+            evaluations=evaluations,
+        )
+
+
+def best_attack(
+    placement: Placement,
+    k: int,
+    s: int,
+    effort: str = "auto",
+    rng: Optional[random.Random] = None,
+) -> AttackResult:
+    """Convenience dispatcher over the adversary ladder.
+
+    ``effort``:
+        * ``"fast"`` — local search only;
+        * ``"exact"`` — branch and bound with no budget (provably optimal);
+        * ``"auto"`` — exact for small instances (``C(n,k) * b`` below ~2e8),
+          local search with extra restarts otherwise.
+    """
+    if effort == "fast":
+        return LocalSearchAdversary(restarts=4, rng=rng).attack(placement, k, s)
+    if effort == "exact":
+        return BranchAndBoundAdversary(max_nodes=None).attack(placement, k, s)
+    if effort == "auto":
+        work = binom(placement.n, k) * placement.b
+        if work <= 200_000_000:
+            return BranchAndBoundAdversary(max_nodes=5_000_000).attack(
+                placement, k, s
+            )
+        return LocalSearchAdversary(restarts=8, rng=rng).attack(placement, k, s)
+    raise ValueError(f"unknown effort {effort!r}; use fast, exact or auto")

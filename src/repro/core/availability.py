@@ -1,0 +1,64 @@
+"""Availability evaluation: Definition 1 tied to the adversary engines."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.adversary import AttackResult, best_attack
+from repro.core.placement import Placement
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """``Avail(pi)`` for one placement under worst-case ``k`` failures."""
+
+    b: int
+    k: int
+    s: int
+    available: int  # surviving objects (b - damage)
+    attack: AttackResult
+
+    @property
+    def failed(self) -> int:
+        return self.b - self.available
+
+    @property
+    def fraction_available(self) -> float:
+        return self.available / self.b
+
+    @property
+    def exact(self) -> bool:
+        """True iff `available` is exactly Avail(pi), not just an upper bound."""
+        return self.attack.exact
+
+
+def evaluate_availability(
+    placement: Placement,
+    k: int,
+    s: int,
+    effort: str = "auto",
+    rng: Optional[random.Random] = None,
+) -> AvailabilityReport:
+    """Compute (or upper-bound) ``Avail(pi)`` = b - worst-case damage.
+
+    With a heuristic adversary (``exact=False`` on the attack) the reported
+    availability is an *upper* bound on the true worst case: the adversary
+    may have missed a better attack, never overstated one.
+    """
+    attack = best_attack(placement, k, s, effort=effort, rng=rng)
+    return AvailabilityReport(
+        b=placement.b,
+        k=k,
+        s=s,
+        available=placement.b - attack.damage,
+        attack=attack,
+    )
+
+
+def survivors_under(
+    placement: Placement, failed_nodes: Tuple[int, ...], s: int
+) -> int:
+    """Objects surviving one concrete failure set (no search)."""
+    return len(placement.surviving_objects(failed_nodes, s))

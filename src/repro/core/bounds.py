@@ -1,0 +1,122 @@
+"""Availability bounds: Lemma 1, Lemma 2, Lemma 3 and Theorem 1 of the paper.
+
+All arithmetic is exact (integer binomials under floors); the competitive
+constants of Theorem 1 are returned as exact :class:`Rational` values with
+float conversions left to callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.combinatorics import binom, ceil_div
+from repro.util.intmath import Rational
+
+
+def simple_capacity(n: int, r: int, x: int, lam: int) -> int:
+    """Lemma 1: max objects a Simple(x, lam) placement can host.
+
+    ``b <= floor(lam * C(n, x+1) / C(r, x+1))``.
+    """
+    _check_simple_args(n, r, x, lam)
+    return (lam * binom(n, x + 1)) // binom(r, x + 1)
+
+
+def minimal_lambda(b: int, n: int, r: int, x: int, mu: int = 1) -> int:
+    """The minimal ``lambda`` of Eqn. 1: smallest multiple of ``mu`` fitting ``b``.
+
+    Requires that ``mu * C(n, x+1) / C(r, x+1)`` is integral (the paper's
+    condition on the (n_x, mu_x) choice), so that capacity grows in exact
+    steps of that unit per copy.
+    """
+    _check_simple_args(n, r, x, mu)
+    if b < 1:
+        raise ValueError(f"need b >= 1, got {b}")
+    unit_num = mu * binom(n, x + 1)
+    denom = binom(r, x + 1)
+    if unit_num % denom:
+        raise ValueError(
+            f"mu*C(n,x+1)/C(r,x+1) = {unit_num}/{denom} is not integral; "
+            f"choose (n_x, mu_x) per Sec. III-C"
+        )
+    unit = unit_num // denom
+    return mu * ceil_div(b, unit)
+
+
+def lb_avail_simple(b: int, k: int, s: int, x: int, lam: int) -> int:
+    """Lemma 2: ``lbAvail_si(x, lam) = b - floor(lam * C(k,x+1) / C(s,x+1))``.
+
+    Not clamped at zero: the raw bound can be negative (and the paper's
+    Fig. 10 reports such regimes as deeply negative relative improvements).
+    """
+    if x >= s:
+        raise ValueError(
+            f"Simple placements require x < s (else s-node failures can kill "
+            f"unboundedly many objects); got x={x}, s={s}"
+        )
+    if lam < 1:
+        raise ValueError(f"lambda must be >= 1, got {lam}")
+    return b - (lam * binom(k, x + 1)) // binom(s, x + 1)
+
+
+def lb_avail_combo(b: int, k: int, s: int, lambdas) -> int:
+    """Lemma 3: ``lbAvail_co = b - sum_x floor(lambda_x C(k,x+1) / C(s,x+1))``.
+
+    ``lambdas`` maps stratum ``x`` (0-based, ``x < s``) to its lambda; zero
+    entries mean the stratum is unused.
+    """
+    total_loss = 0
+    for x, lam in enumerate(lambdas):
+        if lam == 0:
+            continue
+        if x >= s:
+            raise ValueError(f"stratum x={x} invalid for s={s}")
+        total_loss += (lam * binom(k, x + 1)) // binom(s, x + 1)
+    return b - total_loss
+
+
+@dataclass(frozen=True)
+class CompetitiveConstants:
+    """Theorem 1's constants: ``Avail(pi') < c * Avail(pi) + alpha``."""
+
+    c: Rational
+    alpha: Rational
+    applicable: bool  # True iff C(r,x+1)C(k,x+1) < C(n_x,x+1)C(s,x+1), so c > 1
+
+    @property
+    def competitive_ratio(self) -> float:
+        return float(self.c)
+
+
+def theorem1_constants(
+    nx: int, r: int, s: int, k: int, x: int, mu: int = 1
+) -> CompetitiveConstants:
+    """The (c, alpha) of Theorem 1 for a Simple(x, ·) placement on ``nx`` nodes.
+
+    ``c = [1 - C(r,x+1)C(k,x+1) / (C(nx,x+1)C(s,x+1))]^{-1}`` and
+    ``alpha = c * mu * C(k,x+1) / C(s,x+1)``; the theorem applies when the
+    bracketed quantity is positive (``applicable``).
+    """
+    _check_simple_args(nx, r, x, mu)
+    numerator = binom(r, x + 1) * binom(k, x + 1)
+    denominator = binom(nx, x + 1) * binom(s, x + 1)
+    if denominator == 0:
+        raise ValueError(f"C(s,x+1) vanished: s={s}, x={x} must satisfy x < s")
+    ratio = Rational(numerator, denominator)
+    applicable = ratio < 1
+    if not applicable:
+        # Return the degenerate marker with c = alpha = 0; callers branch on
+        # `applicable` rather than interpreting these numbers.
+        return CompetitiveConstants(c=Rational(0), alpha=Rational(0), applicable=False)
+    c = Rational(1) / (Rational(1) - ratio)
+    alpha = c * Rational(mu * binom(k, x + 1), binom(s, x + 1))
+    return CompetitiveConstants(c=c, alpha=alpha, applicable=True)
+
+
+def _check_simple_args(n: int, r: int, x: int, lam: int) -> None:
+    if not 0 <= x < r:
+        raise ValueError(f"overlap bound must satisfy 0 <= x < r, got x={x}, r={r}")
+    if not 1 <= r <= n:
+        raise ValueError(f"need 1 <= r <= n, got r={r}, n={n}")
+    if lam < 1:
+        raise ValueError(f"lambda/mu must be >= 1, got {lam}")

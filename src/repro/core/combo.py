@@ -1,0 +1,204 @@
+"""The Combo placement strategy and its optimizing DP (paper Sec. III-B).
+
+``Combo(<lambda_x>)`` splits the ``b`` objects across strata
+``Simple(0, lambda_0) ... Simple(s-1, lambda_{s-1})`` subject to the
+capacity constraint Eqn. 3. The dynamic program of Sec. III-B1 (Eqns. 5-7)
+chooses ``<lambda_x>`` to maximize the availability lower bound
+``lbAvail_co`` (Lemma 3) for a configured number ``k`` of node failures.
+
+The DP state is ``(x', b')``: the best bound achievable placing ``b'``
+objects using strata ``0..x'``. Lambda moves in steps of ``mu_x`` (``d``
+steps place ``d * unit_x`` objects), exactly as in the paper's recurrence;
+memoization is over reachable states only, which stays tiny because
+``unit_x`` grows combinatorially with ``x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.bounds import lb_avail_combo
+from repro.core.placement import Placement
+from repro.core.subsystems import Subsystem, select_combo_subsystems
+from repro.designs.catalog import Existence
+from repro.util.combinatorics import binom, ceil_div
+
+
+@dataclass(frozen=True)
+class ComboPlan:
+    """The DP's output: per-stratum lambdas and object counts for one (b, k)."""
+
+    b: int
+    k: int
+    r: int
+    s: int
+    lambdas: Tuple[int, ...]  # lambda_x per stratum; 0 = stratum unused
+    counts: Tuple[int, ...]  # objects placed per stratum, sums to b
+    lower_bound: int  # the DP objective: max lbAvail_co
+
+    def lower_bound_at(self, k: int) -> int:
+        """Lemma 3 evaluated for a different failure count (Fig. 3's question)."""
+        return lb_avail_combo(self.b, k, self.s, self.lambdas)
+
+
+class ComboStrategy:
+    """Builds Combo placements on ``n`` nodes (r replicas, threshold s)."""
+
+    def __init__(
+        self,
+        n: int,
+        r: int,
+        s: int,
+        subsystems: Optional[Tuple[Optional[Subsystem], ...]] = None,
+        tier: Existence = Existence.KNOWN,
+        max_mu: int = 1,
+        max_chunks: int = 1,
+    ) -> None:
+        if not 1 <= s <= r <= n:
+            raise ValueError(f"need 1 <= s <= r <= n, got s={s}, r={r}, n={n}")
+        self.n = n
+        self.r = r
+        self.s = s
+        if subsystems is None:
+            subsystems = select_combo_subsystems(
+                n, r, s, tier=tier, max_mu=max_mu, max_chunks=max_chunks
+            )
+        if len(subsystems) != s:
+            raise ValueError(
+                f"need one subsystem slot per stratum x in [s]={list(range(s))}, "
+                f"got {len(subsystems)}"
+            )
+        self.subsystems = tuple(subsystems)
+        if all(sub is None for sub in self.subsystems):
+            raise ValueError("at least one stratum needs a subsystem")
+
+    # -- the dynamic program (Eqns. 5-7) ---------------------------------
+
+    def plan(self, b: int, k: int) -> ComboPlan:
+        """Choose ``<lambda_x>`` maximizing the Lemma-3 bound for ``k`` failures."""
+        if b < 1:
+            raise ValueError(f"need b >= 1, got {b}")
+        if not self.s <= k < self.n:
+            raise ValueError(f"need s <= k < n, got s={self.s}, k={k}, n={self.n}")
+        memo: Dict[Tuple[int, int], int] = {}
+        choice: Dict[Tuple[int, int], int] = {}
+
+        units = [sub.unit_capacity if sub else 0 for sub in self.subsystems]
+        mus = [sub.mu if sub else 0 for sub in self.subsystems]
+
+        def loss(x: int, d: int) -> int:
+            # floor(d * mu_x * C(k, x+1) / C(s, x+1)) — Lemma 2's term.
+            return (d * mus[x] * binom(k, x + 1)) // binom(self.s, x + 1)
+
+        def solve(x: int, b_rem: int) -> int:
+            if b_rem <= 0:
+                return 0  # Eqn. 5
+            if x == 0:
+                return self._base_case(b_rem, k)  # Eqn. 6
+            key = (x, b_rem)
+            if key in memo:
+                return memo[key]
+            if units[x] == 0:
+                # No subsystem for this stratum: pass through (d = 0).
+                value = solve(x - 1, b_rem)
+                memo[key] = value
+                choice[key] = 0
+                return value
+            best_value = None
+            best_d = 0
+            for d in range(ceil_div(b_rem, units[x]) + 1):  # Eqn. 7's range
+                placed = d * units[x]
+                gain = min(b_rem, placed) - loss(x, d)
+                value = solve(x - 1, b_rem - placed) + gain
+                if best_value is None or value > best_value:
+                    best_value = value
+                    best_d = d
+            memo[key] = best_value
+            choice[key] = best_d
+            return best_value
+
+        top = self.s - 1
+        value = solve(top, b)
+
+        # Traceback: recover d (hence lambda and object count) per stratum.
+        lambdas = [0] * self.s
+        counts = [0] * self.s
+        b_rem = b
+        for x in range(top, 0, -1):
+            if b_rem <= 0:
+                break
+            d = choice.get((x, b_rem), 0)
+            if d:
+                placed = d * units[x]
+                lambdas[x] = d * mus[x]
+                counts[x] = min(b_rem, placed)
+                b_rem -= placed
+        if b_rem > 0:
+            lambdas[0] = self._base_lambda(b_rem)
+            counts[0] = b_rem
+        return ComboPlan(
+            b=b,
+            k=k,
+            r=self.r,
+            s=self.s,
+            lambdas=tuple(lambdas),
+            counts=tuple(counts),
+            lower_bound=value,
+        )
+
+    def _base_case(self, b_rem: int, k: int) -> int:
+        """Eqn. 6: availability from dumping ``b_rem`` objects into stratum 0."""
+        sub = self.subsystems[0]
+        if sub is None:
+            # Nothing can host these objects; the paper's recurrence assumes a
+            # stratum-0 subsystem exists. Treat as zero availability.
+            return 0
+        lam0 = self._base_lambda(b_rem)
+        return max(0, b_rem - (lam0 * k) // self.s)
+
+    def _base_lambda(self, b_rem: int) -> int:
+        sub = self.subsystems[0]
+        if sub is None:
+            return 0
+        return sub.mu * ceil_div(b_rem, sub.unit_capacity)
+
+    # -- conveniences -----------------------------------------------------
+
+    def lower_bound(self, b: int, k: int) -> int:
+        """max lbAvail_co for ``b`` objects under ``k`` failures."""
+        return self.plan(b, k).lower_bound
+
+    def place(self, b: int, k: int, plan: Optional[ComboPlan] = None) -> Placement:
+        """Materialize the planned Combo placement (Definition 3).
+
+        Objects are laid out stratum by stratum, highest ``x`` first (the
+        order the traceback assigns counts); all strata share node ids
+        ``0..n-1``, each using the prefix its subsystem spans.
+        """
+        from repro.core.simple import SimpleStrategy  # local: avoids cycle
+
+        plan = plan or self.plan(b, k)
+        placement: Optional[Placement] = None
+        for x in range(self.s - 1, -1, -1):
+            count = plan.counts[x]
+            if count == 0:
+                continue
+            strategy = SimpleStrategy(
+                self.n, self.r, x, subsystem=self.subsystems[x]
+            )
+            part = strategy.place(count)
+            placement = part if placement is None else placement.concatenated_with(part)
+        if placement is None:
+            raise AssertionError("plan placed no objects")
+        return Placement(
+            n=placement.n,
+            replica_sets=placement.replica_sets,
+            strategy=f"Combo(s={self.s})",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ComboStrategy(n={self.n}, r={self.r}, s={self.s}, "
+            f"subsystems={self.subsystems})"
+        )

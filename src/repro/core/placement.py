@@ -1,0 +1,164 @@
+"""The ``Placement`` value type: objects mapped to replica node sets.
+
+A placement ``pi : O -> 2^N`` (paper Sec. III) assigns each object a set of
+``r`` distinct nodes. This module is deliberately strategy-agnostic: Simple,
+Combo and Random builders all produce the same type, and the adversary,
+availability evaluation and cluster simulator consume only this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+class PlacementError(ValueError):
+    """Raised when replica sets violate placement rules."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable placement of ``b`` objects on ``n`` nodes.
+
+    ``replica_sets[i]`` is the node set hosting object ``i``. Every replica
+    set has the same size ``r`` and every node index lies in ``[0, n)``.
+    """
+
+    n: int
+    replica_sets: Tuple[FrozenSet[int], ...]
+    strategy: str = ""
+
+    @staticmethod
+    def from_replica_sets(
+        n: int, replica_sets: Iterable[Iterable[int]], strategy: str = ""
+    ) -> "Placement":
+        frozen: List[FrozenSet[int]] = []
+        r = None
+        for obj_id, nodes in enumerate(replica_sets):
+            node_list = list(nodes)
+            node_set = frozenset(node_list)
+            if len(node_set) != len(node_list):
+                raise PlacementError(
+                    f"object {obj_id} places multiple replicas on one node: "
+                    f"{sorted(node_list)}"
+                )
+            if r is None:
+                r = len(node_set)
+                if r == 0:
+                    raise PlacementError("objects need at least one replica")
+            if len(node_set) != r:
+                raise PlacementError(
+                    f"object {obj_id} has {len(node_set)} replicas, expected {r}"
+                )
+            for node in node_set:
+                if not 0 <= node < n:
+                    raise PlacementError(
+                        f"object {obj_id} places a replica on node {node}, "
+                        f"outside [0, {n})"
+                    )
+            frozen.append(node_set)
+        if not frozen:
+            raise PlacementError("a placement needs at least one object")
+        return Placement(n=n, replica_sets=tuple(frozen), strategy=strategy)
+
+    @property
+    def b(self) -> int:
+        """Number of objects."""
+        return len(self.replica_sets)
+
+    @property
+    def r(self) -> int:
+        """Replicas per object."""
+        return len(self.replica_sets[0])
+
+    def loads(self) -> List[int]:
+        """Replicas hosted per node (the load-balance profile)."""
+        loads = [0] * self.n
+        for nodes in self.replica_sets:
+            for node in nodes:
+                loads[node] += 1
+        return loads
+
+    def max_load(self) -> int:
+        return max(self.loads())
+
+    def objects_on(self, node: int) -> List[int]:
+        """Ids of objects with a replica on ``node``."""
+        if not 0 <= node < self.n:
+            raise PlacementError(f"node {node} outside [0, {self.n})")
+        return [i for i, nodes in enumerate(self.replica_sets) if node in nodes]
+
+    def node_to_objects(self) -> List[List[int]]:
+        """Inverse map: for each node, the objects it hosts."""
+        table: List[List[int]] = [[] for _ in range(self.n)]
+        for obj_id, nodes in enumerate(self.replica_sets):
+            for node in nodes:
+                table[node].append(obj_id)
+        return table
+
+    def failed_objects(self, failed_nodes: Iterable[int], s: int) -> List[int]:
+        """Objects with at least ``s`` replicas on ``failed_nodes``."""
+        failed = frozenset(failed_nodes)
+        return [
+            obj_id
+            for obj_id, nodes in enumerate(self.replica_sets)
+            if len(nodes & failed) >= s
+        ]
+
+    def surviving_objects(self, failed_nodes: Iterable[int], s: int) -> List[int]:
+        """Objects with fewer than ``s`` replicas on ``failed_nodes``."""
+        failed = frozenset(failed_nodes)
+        return [
+            obj_id
+            for obj_id, nodes in enumerate(self.replica_sets)
+            if len(nodes & failed) < s
+        ]
+
+    def restricted_to(self, object_ids: Sequence[int]) -> "Placement":
+        """The sub-placement of the given objects (ids are re-numbered)."""
+        if not object_ids:
+            raise PlacementError("cannot restrict to zero objects")
+        return Placement(
+            n=self.n,
+            replica_sets=tuple(self.replica_sets[i] for i in object_ids),
+            strategy=self.strategy,
+        )
+
+    def concatenated_with(self, other: "Placement") -> "Placement":
+        """Both object populations on the same node set."""
+        if other.n != self.n:
+            raise PlacementError(
+                f"cannot concatenate placements on {self.n} and {other.n} nodes"
+            )
+        if other.r != self.r:
+            raise PlacementError(
+                f"cannot concatenate placements with r={self.r} and r={other.r}"
+            )
+        label = self.strategy if self.strategy == other.strategy else (
+            f"{self.strategy}+{other.strategy}"
+        )
+        return Placement(
+            n=self.n,
+            replica_sets=self.replica_sets + other.replica_sets,
+            strategy=label,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot (used by the cluster simulator's logs)."""
+        return {
+            "n": self.n,
+            "strategy": self.strategy,
+            "replica_sets": [sorted(nodes) for nodes in self.replica_sets],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Placement":
+        return Placement.from_replica_sets(
+            int(payload["n"]),
+            payload["replica_sets"],  # type: ignore[arg-type]
+            strategy=str(payload.get("strategy", "")),
+        )
+
+    def __repr__(self) -> str:
+        label = f", strategy={self.strategy!r}" if self.strategy else ""
+        return f"Placement(n={self.n}, b={self.b}, r={self.r}{label})"

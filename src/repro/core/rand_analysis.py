@@ -1,0 +1,102 @@
+"""Analytical availability of Random placement under a worst-case adversary.
+
+Implements the paper's Sec. IV-A machinery:
+
+* ``alpha(n, k, r, s)`` — the number of replica-set configurations putting
+  at least ``s`` replicas on a fixed failed k-set (Theorem 2's alpha);
+* :func:`log_vulnerability` — the large-load limit of ``Vuln_rnd(f)``
+  (Theorem 2): ``C(n,k) * P(Bin(b, p) >= f)`` with ``p = alpha / C(n,r)``,
+  computed in log space because the two factors overflow and underflow
+  doubles by hundreds of orders of magnitude;
+* :func:`pr_avail_rnd` — Definition 6's "probably available" count,
+  ``b - max{f : Vuln_rnd(f) >= 1}``, found by binary search (the
+  vulnerability is non-increasing in ``f``);
+* :func:`lemma4_upper_bound` — the dedicated ``s = 1`` bound
+  ``b * (1 - 1/b)^{k * floor(l)}`` of Appendix A.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.combinatorics import binom
+from repro.util.intmath import log_binom, log_binom_tail
+
+
+def alpha(n: int, k: int, r: int, s: int) -> int:
+    """``sum_{s'=s}^{min(r,k)} C(k, s') C(n-k, r-s')`` (Theorem 2).
+
+    Counts the r-subsets of nodes that intersect a fixed k-subset in at
+    least ``s`` elements — the replica sets killed by failing that k-set.
+    """
+    if not 1 <= s <= r:
+        raise ValueError(f"need 1 <= s <= r, got s={s}, r={r}")
+    if not 0 <= k <= n:
+        raise ValueError(f"need 0 <= k <= n, got k={k}, n={n}")
+    return sum(
+        binom(k, s_prime) * binom(n - k, r - s_prime)
+        for s_prime in range(s, min(r, k) + 1)
+    )
+
+
+def failure_probability(n: int, k: int, r: int, s: int) -> float:
+    """``p = alpha / C(n, r)``: chance one Random' object dies to a fixed k-set."""
+    return alpha(n, k, r, s) / binom(n, r)
+
+
+def log_vulnerability(n: int, k: int, r: int, s: int, b: int, f: int) -> float:
+    """``log Vuln_rnd(f)`` in the Theorem-2 limit.
+
+    ``Vuln_rnd(f) -> C(n,k) * P(Bin(b, p) >= f)``; the log form keeps both
+    factors representable (e.g. ``C(257, 8) ~ e^{44}`` multiplied by tail
+    probabilities down to ``e^{-700}``).
+    """
+    if f <= 0:
+        return log_binom(n, k)
+    p = failure_probability(n, k, r, s)
+    return log_binom(n, k) + log_binom_tail(b, p, f)
+
+
+def max_vulnerable_objects(n: int, k: int, r: int, s: int, b: int) -> int:
+    """``max{f : Vuln_rnd(f) >= 1}`` — the threshold in Definition 6.
+
+    Binary search over ``f`` in ``[0, b]``; ``Vuln_rnd`` is non-increasing
+    in ``f`` and ``Vuln_rnd(0) = C(n,k) >= 1``, so the maximum exists.
+    """
+    low, high = 0, b  # invariant: Vuln(low) >= 1
+    if log_vulnerability(n, k, r, s, b, high) >= 0.0:
+        return b
+    while high - low > 1:
+        mid = (low + high) // 2
+        if log_vulnerability(n, k, r, s, b, mid) >= 0.0:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def pr_avail_rnd(n: int, k: int, r: int, s: int, b: int) -> int:
+    """Definition 6: the number of objects probably available under Random."""
+    if b < 1:
+        raise ValueError(f"need b >= 1, got {b}")
+    return b - max_vulnerable_objects(n, k, r, s, b)
+
+
+def lemma4_upper_bound(n: int, k: int, r: int, b: int) -> float:
+    """Appendix A (s = 1): ``prAvail_rnd <= b (1 - 1/b)^{k floor(l)}``.
+
+    ``l = r b / n`` is the average per-node load; requires ``k < n/2`` (the
+    lemma's hypothesis, which guarantees the adversary can always find k
+    fully loaded nodes).
+    """
+    if not k < n / 2:
+        raise ValueError(f"Lemma 4 requires k < n/2, got k={k}, n={n}")
+    if b < 1:
+        raise ValueError(f"need b >= 1, got {b}")
+    exponent = k * math.floor(r * b / n)
+    return b * math.exp(exponent * math.log1p(-1.0 / b))
+
+
+def pr_avail_fraction(n: int, k: int, r: int, s: int, b: int) -> float:
+    """``prAvail_rnd / b`` — the quantity plotted in the paper's Fig. 8."""
+    return pr_avail_rnd(n, k, r, s, b) / b

@@ -1,0 +1,131 @@
+"""Random replica placement (paper Definition 4) and the Random' variant.
+
+``Random`` draws a placement uniformly-ish from all load-balanced
+placements: every node hosts at most ``l = ceil(r*b/n)`` replicas and each
+object's ``r`` replicas land on distinct nodes. We realize it with the
+standard slot-shuffle-and-repair procedure: materialize ``l`` slots per
+node, shuffle, deal ``r`` slots per object, then repair objects that drew
+duplicate nodes by swapping slots with other objects. The repair preserves
+the per-node slot counts exactly, so the load bound holds by construction.
+
+``Random'`` (Theorem 2's analysis device) drops the quota: each object
+independently picks ``r`` distinct nodes uniformly. The paper proves the
+two converge as the average load grows; the ablation benchmark
+``bench_ablation_random`` measures the gap at finite sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.placement import Placement, PlacementError
+from repro.util.combinatorics import ceil_div
+
+
+class RandomStrategy:
+    """Load-balanced uniform random placement (Definition 4)."""
+
+    def __init__(self, n: int, r: int, load_limit: Optional[int] = None) -> None:
+        if not 1 <= r <= n:
+            raise ValueError(f"need 1 <= r <= n, got r={r}, n={n}")
+        self.n = n
+        self.r = r
+        self.load_limit = load_limit
+
+    def place(self, b: int, rng: Optional[random.Random] = None) -> Placement:
+        """Place ``b`` objects; per-node load never exceeds ``ceil(r*b/n)``.
+
+        Deterministic given ``rng``; pass seeded generators for replayable
+        experiments.
+        """
+        if b < 1:
+            raise ValueError(f"need b >= 1, got {b}")
+        rng = rng or random.Random()
+        limit = self.load_limit if self.load_limit is not None else ceil_div(
+            self.r * b, self.n
+        )
+        if limit * self.n < self.r * b:
+            raise PlacementError(
+                f"load limit {limit} cannot host {self.r * b} replicas on "
+                f"{self.n} nodes"
+            )
+        slots: List[int] = []
+        for node in range(self.n):
+            slots.extend([node] * limit)
+        rng.shuffle(slots)
+        slots = slots[: self.r * b]
+        # slots[:r*b] after a full shuffle is a uniform sample of slots; deal
+        # r consecutive slots to each object and repair duplicates.
+        self._repair(slots, rng)
+        replica_sets = [
+            frozenset(slots[i * self.r : (i + 1) * self.r]) for i in range(b)
+        ]
+        return Placement.from_replica_sets(self.n, replica_sets, strategy="Random")
+
+    def _repair(self, slots: List[int], rng: random.Random) -> None:
+        """Swap away duplicate nodes within any object's r consecutive slots.
+
+        A swap exchanges one duplicated slot of a conflicted object with a
+        random slot of another object and is kept only when the combined
+        duplicate count of the two objects strictly decreases, so the global
+        conflict count is monotonically decreasing and the loop terminates;
+        a safety cap guards adversarial inputs (e.g. n < r cannot happen
+        here, but an externally supplied tight load limit can stall).
+        """
+        r = self.r
+        num_objects = len(slots) // r
+        conflicted = {
+            obj for obj in range(num_objects) if self._duplicates(slots, obj)
+        }
+        attempts = 0
+        max_attempts = 200 * len(slots) + 1000
+        while conflicted:
+            attempts += 1
+            if attempts > max_attempts:
+                raise PlacementError(
+                    "slot repair failed to converge; load limit too tight"
+                )
+            obj = next(iter(conflicted))
+            base = obj * r
+            window = slots[base : base + r]
+            dup_offset = next(i for i in range(r) if window[i] in window[:i])
+            partner = rng.randrange(num_objects)
+            if partner == obj:
+                continue
+            i = base + dup_offset
+            j = partner * r + rng.randrange(r)
+            before = self._duplicates(slots, obj) + self._duplicates(slots, partner)
+            slots[i], slots[j] = slots[j], slots[i]
+            after = self._duplicates(slots, obj) + self._duplicates(slots, partner)
+            if after >= before:
+                slots[i], slots[j] = slots[j], slots[i]  # revert
+                continue
+            for touched in (obj, partner):
+                if self._duplicates(slots, touched):
+                    conflicted.add(touched)
+                else:
+                    conflicted.discard(touched)
+
+    def _duplicates(self, slots: List[int], obj: int) -> int:
+        base = obj * self.r
+        window = slots[base : base + self.r]
+        return self.r - len(set(window))
+
+
+class UnconstrainedRandomStrategy:
+    """Random': r distinct nodes per object, no load quota (Theorem 2 device)."""
+
+    def __init__(self, n: int, r: int) -> None:
+        if not 1 <= r <= n:
+            raise ValueError(f"need 1 <= r <= n, got r={r}, n={n}")
+        self.n = n
+        self.r = r
+
+    def place(self, b: int, rng: Optional[random.Random] = None) -> Placement:
+        if b < 1:
+            raise ValueError(f"need b >= 1, got {b}")
+        rng = rng or random.Random()
+        population = range(self.n)
+        replica_sets = [frozenset(rng.sample(population, self.r)) for _ in range(b)]
+        return Placement.from_replica_sets(self.n, replica_sets, strategy="Random'")

@@ -1,0 +1,217 @@
+"""Finite fields GF(p^m) for small prime powers.
+
+The geometric design constructions (lines of affine and projective spaces,
+Sec. III-C of the paper) need arithmetic over GF(q) for q up to a few
+hundred. Elements are represented as integers in ``[0, q)`` encoding the
+base-``p`` digit vector of a polynomial over GF(p); multiplication reduces
+modulo a monic irreducible polynomial found by exhaustive search (fast at
+these sizes, and deterministic so field tables are reproducible).
+
+For fields of this size, full log/antilog tables give O(1) multiplication
+and inversion, so the table build cost — O(q^2) at worst during the
+irreducibility search — is paid once per field and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.util.combinatorics import prime_power_decomposition
+
+
+class GF:
+    """The finite field with ``q = p**m`` elements.
+
+    Elements are plain ``int`` in ``[0, q)``. The integer ``e`` encodes the
+    polynomial ``sum(digit_i * X**i)`` where ``digit_i`` are the base-``p``
+    digits of ``e``; for prime fields (``m == 1``) this is ordinary
+    arithmetic mod ``p``.
+    """
+
+    def __init__(self, q: int) -> None:
+        decomposition = prime_power_decomposition(q)
+        if decomposition is None:
+            raise ValueError(f"GF order must be a prime power, got {q}")
+        self.q = q
+        self.p, self.m = decomposition
+        if self.m == 1:
+            self._modulus: Tuple[int, ...] = ()
+        else:
+            self._modulus = _find_irreducible(self.p, self.m)
+        self._exp: List[int] = []
+        self._log: List[int] = []
+        self._build_tables()
+
+    # -- element arithmetic -------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        if self.m == 1:
+            return (a + b) % self.p
+        result = 0
+        scale = 1
+        while a or b:
+            digit = (a % self.p + b % self.p) % self.p
+            result += digit * scale
+            scale *= self.p
+            a //= self.p
+            b //= self.p
+        return result
+
+    def neg(self, a: int) -> int:
+        self._check(a)
+        if self.m == 1:
+            return (-a) % self.p
+        result = 0
+        scale = 1
+        while a:
+            result += ((-a) % self.p) * scale
+            scale *= self.p
+            a //= self.p
+        return result
+
+    def sub(self, a: int, b: int) -> int:
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[(self._log[a] + self._log[b]) % (self.q - 1)]
+
+    def inv(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF")
+        return self._exp[(-self._log[a]) % (self.q - 1)]
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        self._check(a)
+        if a == 0:
+            if e < 0:
+                raise ZeroDivisionError("0 to a negative power in GF")
+            return 0 if e else 1
+        return self._exp[(self._log[a] * e) % (self.q - 1)]
+
+    def elements(self) -> range:
+        return range(self.q)
+
+    @property
+    def primitive_element(self) -> int:
+        if self.q == 2:
+            return 1  # the multiplicative group is trivial
+        return self._exp[1]
+
+    # -- internals ----------------------------------------------------------
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.q:
+            raise ValueError(f"{a} is not an element of GF({self.q})")
+
+    def _mul_slow(self, a: int, b: int) -> int:
+        """Polynomial multiplication mod the irreducible; table-free path."""
+        if self.m == 1:
+            return (a * b) % self.p
+        pa = _int_to_poly(a, self.p)
+        pb = _int_to_poly(b, self.p)
+        product = [0] * (len(pa) + len(pb) - 1) if pa and pb else []
+        for i, ca in enumerate(pa):
+            if not ca:
+                continue
+            for j, cb in enumerate(pb):
+                product[i + j] = (product[i + j] + ca * cb) % self.p
+        reduced = _poly_mod(product, self._modulus, self.p)
+        return _poly_to_int(reduced, self.p)
+
+    def _build_tables(self) -> None:
+        """Find a generator of the multiplicative group and tabulate powers."""
+        order = self.q - 1
+        for candidate in range(1, self.q):
+            if candidate == 0:
+                continue
+            exp_table = [1]
+            value = 1
+            for _ in range(order - 1):
+                value = self._mul_slow(value, candidate)
+                if value == 1:
+                    break
+                exp_table.append(value)
+            if len(exp_table) == order:
+                self._exp = exp_table
+                self._log = [0] * self.q
+                for power, element in enumerate(exp_table):
+                    self._log[element] = power
+                return
+        raise AssertionError(f"no primitive element found for GF({self.q})")
+
+    def __repr__(self) -> str:
+        return f"GF({self.q})"
+
+
+@lru_cache(maxsize=None)
+def gf(q: int) -> GF:
+    """Cached field constructor: fields are immutable, so share them."""
+    return GF(q)
+
+
+def _int_to_poly(value: int, p: int) -> List[int]:
+    digits = []
+    while value:
+        digits.append(value % p)
+        value //= p
+    return digits
+
+
+def _poly_to_int(poly: Sequence[int], p: int) -> int:
+    result = 0
+    for coefficient in reversed(poly):
+        result = result * p + coefficient
+    return result
+
+
+def _poly_mod(poly: List[int], modulus: Sequence[int], p: int) -> List[int]:
+    """Remainder of ``poly`` divided by monic ``modulus`` over GF(p)."""
+    remainder = list(poly)
+    degree = len(modulus) - 1
+    while len(remainder) > degree:
+        lead = remainder[-1]
+        if lead:
+            shift = len(remainder) - 1 - degree
+            for i, coefficient in enumerate(modulus):
+                remainder[shift + i] = (remainder[shift + i] - lead * coefficient) % p
+        remainder.pop()
+    while remainder and remainder[-1] == 0:
+        remainder.pop()
+    return remainder
+
+
+def _is_irreducible(candidate: Sequence[int], p: int) -> bool:
+    """Check irreducibility by trial division with all lower-degree monics."""
+    degree = len(candidate) - 1
+    if degree <= 1:
+        return degree == 1
+    for divisor_degree in range(1, degree // 2 + 1):
+        for encoded in range(p**divisor_degree):
+            divisor = _int_to_poly(encoded, p)
+            divisor += [0] * (divisor_degree - len(divisor))
+            divisor.append(1)  # monic
+            if not _poly_mod(list(candidate), divisor, p):
+                return False
+    return True
+
+
+def _find_irreducible(p: int, m: int) -> Tuple[int, ...]:
+    """Smallest monic irreducible polynomial of degree ``m`` over GF(p)."""
+    for encoded in range(p**m):
+        lower = _int_to_poly(encoded, p)
+        lower += [0] * (m - len(lower))
+        candidate = (*lower, 1)
+        if _is_irreducible(candidate, p):
+            return candidate
+    raise AssertionError(f"no irreducible polynomial of degree {m} over GF({p})")

@@ -1,0 +1,135 @@
+"""Design transformations: derived designs, copies, disjoint unions, complements.
+
+These are the standard design-theory operations the paper leans on:
+
+* ``lambda``-fold **copies** realize Observation 1 (a Simple(x, λ) from λ/μ
+  copies of a Simple(x, μ));
+* **disjoint unions** realize Observation 2 (chunking the node set when no
+  single subsystem order fits);
+* **derived** designs turn S(5,6,12) into the S(4,5,11) the catalog lists;
+* the **trivial design** of all r-subsets covers the ``x + 1 = r`` case,
+  where the paper notes the Steiner constraints are vacuously satisfied.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, islice
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.designs.blocks import Block, BlockDesign, DesignError
+
+
+def repeat_design(design: BlockDesign, copies: int) -> BlockDesign:
+    """The ``copies``-fold multiset union: a t-(v, r, copies * lam) design."""
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    return BlockDesign(
+        v=design.v,
+        block_size=design.block_size,
+        blocks=design.blocks * copies,
+        name=f"{design.name} x{copies}" if design.name else "",
+    )
+
+
+def disjoint_union(designs: Sequence[BlockDesign]) -> BlockDesign:
+    """Union on disjoint point sets (chunking; Observation 2 of the paper).
+
+    Chunk ``i``'s points are shifted by the total size of chunks before it.
+    All chunks must share the block size. Coverage of any t-subset touching
+    two chunks is zero, so a union of t-(v_i, r, λ) packings is a
+    t-(Σ v_i, r, λ) packing.
+    """
+    if not designs:
+        raise ValueError("disjoint_union needs at least one design")
+    block_size = designs[0].block_size
+    blocks: List[Block] = []
+    offset = 0
+    for design in designs:
+        if design.block_size != block_size:
+            raise DesignError(
+                f"mixed block sizes {design.block_size} and {block_size}"
+            )
+        blocks.extend(
+            tuple(point + offset for point in block) for block in design.blocks
+        )
+        offset += design.v
+    names = ", ".join(d.name for d in designs if d.name)
+    return BlockDesign.from_blocks(offset, blocks, name=f"union[{names}]")
+
+
+def derived_design(design: BlockDesign, point: int) -> BlockDesign:
+    """Derived design at ``point``: blocks through it, with it removed.
+
+    The derived design of a t-(v, r, λ) design is a (t-1)-(v-1, r-1, λ)
+    design. Points are relabeled to close the gap left by ``point``.
+    """
+    if not 0 <= point < design.v:
+        raise ValueError(f"point {point} outside design on {design.v} points")
+
+    def relabel(p: int) -> int:
+        return p if p < point else p - 1
+
+    blocks = [
+        tuple(sorted(relabel(p) for p in block if p != point))
+        for block in design.blocks
+        if point in block
+    ]
+    if not blocks:
+        raise DesignError(f"no blocks through point {point}")
+    return BlockDesign.from_blocks(
+        design.v - 1, blocks, name=f"derived({design.name or 'design'}@{point})"
+    )
+
+
+def residual_design(design: BlockDesign, point: int) -> BlockDesign:
+    """Residual design at ``point``: the blocks avoiding it, points relabeled."""
+    if not 0 <= point < design.v:
+        raise ValueError(f"point {point} outside design on {design.v} points")
+
+    def relabel(p: int) -> int:
+        return p if p < point else p - 1
+
+    blocks = [
+        tuple(sorted(relabel(p) for p in block))
+        for block in design.blocks
+        if point not in block
+    ]
+    if not blocks:
+        raise DesignError(f"every block passes through point {point}")
+    return BlockDesign.from_blocks(
+        design.v - 1, blocks, name=f"residual({design.name or 'design'}@{point})"
+    )
+
+
+def complement_design(design: BlockDesign) -> BlockDesign:
+    """Replace every block by its complement in the point set."""
+    if design.block_size >= design.v:
+        raise DesignError("complement of spanning blocks would be empty")
+    full = set(range(design.v))
+    blocks = [tuple(sorted(full - set(block))) for block in design.blocks]
+    return BlockDesign.from_blocks(
+        design.v, blocks, name=f"complement({design.name or 'design'})"
+    )
+
+
+def all_subsets_blocks(v: int, r: int) -> Iterator[Block]:
+    """Lazily enumerate all r-subsets of ``v`` points in lexicographic order.
+
+    The trivial design for the ``x + 1 = r`` stratum. It is deliberately a
+    generator: at the paper's scale (e.g. v = 257, r = 5) the full design
+    has ~2.8 billion blocks, but placements only ever consume a prefix.
+    """
+    if not 1 <= r <= v:
+        raise ValueError(f"need 1 <= r <= v, got r={r}, v={v}")
+    return combinations(range(v), r)
+
+
+def trivial_design_prefix(v: int, r: int, num_blocks: int) -> BlockDesign:
+    """The first ``num_blocks`` r-subsets as a concrete design object."""
+    blocks = list(islice(all_subsets_blocks(v, r), num_blocks))
+    if len(blocks) < num_blocks:
+        raise DesignError(
+            f"only C({v},{r})={len(blocks)} distinct {r}-subsets exist, "
+            f"cannot provide {num_blocks}"
+        )
+    return BlockDesign.from_blocks(v, blocks, name=f"trivial({v},{r})[:{num_blocks}]")

@@ -1,0 +1,88 @@
+"""Hermitian unitals: ``2-(q^3 + 1, q + 1, 1)`` designs.
+
+The points are the absolute points of a unitary polarity of PG(2, q^2) —
+equivalently the GF(q^2)-rational points of the Hermitian curve
+``x^{q+1} + y^{q+1} + z^{q+1} = 0`` — and the blocks are the intersections
+with secant lines, each of size ``q + 1``.
+
+The paper's subsystem table needs two instances:
+
+* q = 3: ``2-(28, 4, 1)`` — the ``n1 = 28`` entry for ``n = 31, r = 4``;
+* q = 4: ``2-(65, 5, 1)`` — the ``n1 = 65`` entry for ``n = 71, r = 5``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.designs.blocks import BlockDesign
+from repro.designs.gf import GF, gf
+
+Point = Tuple[int, int, int]
+
+
+def _hermitian_points(field: GF, q: int) -> List[Point]:
+    """Normalized projective points with ``x^{q+1} + y^{q+1} + z^{q+1} = 0``."""
+    points = []
+    for x in field.elements():
+        for y in field.elements():
+            for z in field.elements():
+                if (x, y, z) == (0, 0, 0):
+                    continue
+                leading = next(c for c in (x, y, z) if c != 0)
+                if leading != 1:
+                    continue  # one representative per projective point
+                norm_sum = 0
+                for coordinate in (x, y, z):
+                    norm_sum = field.add(norm_sum, field.pow(coordinate, q + 1))
+                if norm_sum == 0:
+                    points.append((x, y, z))
+    return points
+
+
+def hermitian_unital(q: int) -> BlockDesign:
+    """The Hermitian unital H(q) as a ``2-(q^3+1, q+1, 1)`` design."""
+    field = gf(q * q)
+    points = _hermitian_points(field, q)
+    expected = q**3 + 1
+    if len(points) != expected:
+        raise AssertionError(
+            f"Hermitian curve over GF({q * q}) has {len(points)} points, "
+            f"expected {expected}"
+        )
+    index: Dict[Point, int] = {point: i for i, point in enumerate(points)}
+    on_curve = set(points)
+
+    blocks = []
+    seen = set()
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            block = {i, j}
+            a, b = points[i], points[j]
+            # Points of the PG(2, q^2) line through a and b: b + t*a and a.
+            for t in field.elements():
+                candidate = tuple(
+                    field.add(b[c], field.mul(t, a[c])) for c in range(3)
+                )
+                normalized = _normalize(field, candidate)
+                if normalized in on_curve:
+                    block.add(index[normalized])
+            key = frozenset(block)
+            if key in seen:
+                continue
+            seen.add(key)
+            if len(block) != q + 1:
+                raise AssertionError(
+                    f"secant line meets unital in {len(block)} points, "
+                    f"expected {q + 1}"
+                )
+            blocks.append(tuple(sorted(block)))
+    return BlockDesign.from_blocks(expected, blocks, name=f"Hermitian unital H({q})")
+
+
+def _normalize(field: GF, vector: Point) -> Point:
+    leading = next((c for c in vector if c != 0), None)
+    if leading is None:
+        raise ValueError("zero vector is not projective")
+    inverse = field.inv(leading)
+    return tuple(field.mul(inverse, c) for c in vector)

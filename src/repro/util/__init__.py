@@ -1,0 +1,44 @@
+"""Shared utilities: exact combinatorics, integer math, RNG, table rendering.
+
+These modules deliberately avoid third-party dependencies so that the core
+library runs on a bare Python installation; ``numpy``/``scipy`` are used only
+as optional accelerators elsewhere.
+"""
+
+from repro.util.combinatorics import (
+    binom,
+    ceil_div,
+    falling_factorial,
+    k_subsets,
+    lcm_many,
+    rank_subset,
+    unrank_subset,
+)
+from repro.util.intmath import (
+    Rational,
+    floor_ratio,
+    log_binom,
+    log_binom_tail,
+    logsumexp,
+)
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.tables import TextTable, format_grid
+
+__all__ = [
+    "Rational",
+    "TextTable",
+    "binom",
+    "ceil_div",
+    "derive_rng",
+    "falling_factorial",
+    "floor_ratio",
+    "format_grid",
+    "k_subsets",
+    "lcm_many",
+    "log_binom",
+    "log_binom_tail",
+    "logsumexp",
+    "rank_subset",
+    "spawn_seeds",
+    "unrank_subset",
+]

@@ -1,0 +1,197 @@
+"""Exact rational arithmetic and log-space tail sums.
+
+Two needs drive this module:
+
+* Capacity expressions such as ``lambda * C(nx, x+1) / C(r, x+1)`` must be
+  floored or compared exactly (Eqn. 1 of the paper brackets ``b`` between two
+  such quantities); :class:`Rational` keeps them exact without pulling in
+  :mod:`fractions` ergonomics everywhere.
+* ``Vuln_rnd(f)`` (Theorem 2) multiplies ``C(n,k)`` — astronomically large —
+  by a binomial tail probability — astronomically small. Both are tractable
+  only in log space; :func:`log_binom_tail` computes ``log P(Bin(b,p) >= f)``
+  stably for ``b`` up to the paper's 38 400 objects and beyond.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Rational:
+    """An exact non-negative rational with design-theory helpers.
+
+    A tiny value type rather than :class:`fractions.Fraction` so that the
+    arithmetic used in capacity formulas stays explicit and the invariants
+    (positive denominator, normalized sign) hold by construction.
+    """
+
+    numerator: int
+    denominator: int = 1
+
+    def __post_init__(self) -> None:
+        if self.denominator == 0:
+            raise ZeroDivisionError("Rational with zero denominator")
+        num, den = self.numerator, self.denominator
+        if den < 0:
+            num, den = -num, -den
+        g = math.gcd(num, den) or 1
+        object.__setattr__(self, "numerator", num // g)
+        object.__setattr__(self, "denominator", den // g)
+
+    def __add__(self, other: "Rational | int") -> "Rational":
+        other = _as_rational(other)
+        return Rational(
+            self.numerator * other.denominator + other.numerator * self.denominator,
+            self.denominator * other.denominator,
+        )
+
+    def __sub__(self, other: "Rational | int") -> "Rational":
+        other = _as_rational(other)
+        return Rational(
+            self.numerator * other.denominator - other.numerator * self.denominator,
+            self.denominator * other.denominator,
+        )
+
+    def __mul__(self, other: "Rational | int") -> "Rational":
+        other = _as_rational(other)
+        return Rational(self.numerator * other.numerator, self.denominator * other.denominator)
+
+    def __truediv__(self, other: "Rational | int") -> "Rational":
+        other = _as_rational(other)
+        return Rational(self.numerator * other.denominator, self.denominator * other.numerator)
+
+    def __lt__(self, other: "Rational | int") -> bool:
+        other = _as_rational(other)
+        return self.numerator * other.denominator < other.numerator * self.denominator
+
+    def __le__(self, other: "Rational | int") -> bool:
+        other = _as_rational(other)
+        return self.numerator * other.denominator <= other.numerator * self.denominator
+
+    def __gt__(self, other: "Rational | int") -> bool:
+        return _as_rational(other) < self
+
+    def __ge__(self, other: "Rational | int") -> bool:
+        return _as_rational(other) <= self
+
+    def floor(self) -> int:
+        return self.numerator // self.denominator
+
+    def ceil(self) -> int:
+        return -((-self.numerator) // self.denominator)
+
+    def is_integral(self) -> bool:
+        return self.numerator % self.denominator == 0
+
+    def __float__(self) -> float:
+        return self.numerator / self.denominator
+
+    def __repr__(self) -> str:
+        if self.denominator == 1:
+            return f"Rational({self.numerator})"
+        return f"Rational({self.numerator}/{self.denominator})"
+
+
+def _as_rational(value: "Rational | int") -> Rational:
+    if isinstance(value, Rational):
+        return value
+    if isinstance(value, int):
+        return Rational(value)
+    raise TypeError(f"cannot coerce {type(value).__name__} to Rational")
+
+
+def floor_ratio(numerator: int, denominator: int) -> int:
+    """Exact ``floor(numerator / denominator)`` for ``denominator > 0``."""
+    if denominator <= 0:
+        raise ValueError(f"floor_ratio requires positive denominator, got {denominator}")
+    return numerator // denominator
+
+
+def log_binom(n: int, k: int) -> float:
+    """Natural log of ``C(n, k)``; ``-inf`` outside the valid range."""
+    if k < 0 or n < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def logsumexp(values: Iterable[float]) -> float:
+    """Stable ``log(sum(exp(v)))`` over an iterable of floats."""
+    items = [v for v in values if v != float("-inf")]
+    if not items:
+        return float("-inf")
+    peak = max(items)
+    if peak == float("inf"):
+        return float("inf")
+    return peak + math.log(sum(math.exp(v - peak) for v in items))
+
+
+def log_binom_pmf(n: int, p_log: float, q_log: float, k: int) -> float:
+    """``log P(Bin(n, p) = k)`` given ``log p`` and ``log (1-p)``.
+
+    Passing both logs avoids catastrophic cancellation when ``p`` is close
+    to 0 or 1, which happens routinely for the failure probabilities
+    ``alpha / C(n, r)`` in Theorem 2.
+    """
+    if k < 0 or k > n:
+        return float("-inf")
+    if p_log == float("-inf"):
+        return 0.0 if k == 0 else float("-inf")
+    if q_log == float("-inf"):
+        return 0.0 if k == n else float("-inf")
+    return log_binom(n, k) + k * p_log + (n - k) * q_log
+
+
+def log_binom_tail(n: int, p: float, f: int) -> float:
+    """``log P(Bin(n, p) >= f)`` computed stably in log space.
+
+    Sums the pmf from ``f`` upward; once terms decay 60+ nats below the
+    running peak they can no longer influence a double, so the sum is cut
+    short — this keeps the routine O(stddev) rather than O(n) in practice.
+    """
+    if f <= 0:
+        return 0.0
+    if f > n:
+        return float("-inf")
+    if p <= 0.0:
+        return float("-inf")
+    if p >= 1.0:
+        return 0.0
+    p_log = math.log(p)
+    q_log = math.log1p(-p)
+    terms = []
+    peak = float("-inf")
+    for k in range(f, n + 1):
+        term = log_binom_pmf(n, p_log, q_log, k)
+        terms.append(term)
+        peak = max(peak, term)
+        # Terms are unimodal in k; once past the mode and far below the
+        # peak they cannot change the double-precision sum.
+        if term < peak - 60.0 and k > n * p:
+            break
+    return logsumexp(terms)
+
+
+def log_binom_head(n: int, p: float, f: int) -> float:
+    """``log P(Bin(n, p) <= f)`` — the complementary head sum."""
+    if f >= n:
+        return 0.0
+    if f < 0:
+        return float("-inf")
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return float("-inf")
+    p_log = math.log(p)
+    q_log = math.log1p(-p)
+    terms = []
+    peak = float("-inf")
+    for k in range(f, -1, -1):
+        term = log_binom_pmf(n, p_log, q_log, k)
+        terms.append(term)
+        peak = max(peak, term)
+        if term < peak - 60.0 and k < n * p:
+            break
+    return logsumexp(terms)

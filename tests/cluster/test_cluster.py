@@ -1,0 +1,134 @@
+"""Tests for nodes, cluster state, and liveness accounting."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.node import Node, NodeState
+from repro.cluster.objects import (
+    majority_quorum_rule,
+    read_one_rule,
+    threshold_rule,
+    write_all_rule,
+)
+from repro.core.placement import Placement
+
+
+class TestNode:
+    def test_host_and_evict(self):
+        node = Node(node_id=0, capacity=2)
+        node.host(10)
+        node.host(11)
+        assert node.load == 2
+        node.evict(10)
+        assert node.load == 1
+
+    def test_capacity_enforced(self):
+        node = Node(node_id=0, capacity=1)
+        node.host(1)
+        with pytest.raises(ValueError):
+            node.host(2)
+
+    def test_double_host_rejected(self):
+        node = Node(node_id=0)
+        node.host(1)
+        with pytest.raises(ValueError):
+            node.host(1)
+
+    def test_evict_missing_rejected(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0).evict(5)
+
+    def test_fail_recover(self):
+        node = Node(node_id=0)
+        node.fail()
+        assert node.state == NodeState.FAILED
+        node.recover()
+        assert node.is_up
+
+
+class TestCluster:
+    def test_apply_placement(self):
+        cluster = Cluster(5)
+        placement = Placement.from_replica_sets(5, [(0, 1), (2, 3), (3, 4)])
+        cluster.apply_placement(placement)
+        assert len(cluster.objects) == 3
+        assert cluster.loads() == [1, 1, 1, 2, 1]
+
+    def test_apply_mismatched_size(self):
+        cluster = Cluster(4)
+        placement = Placement.from_replica_sets(5, [(0, 4)])
+        with pytest.raises(ClusterError):
+            cluster.apply_placement(placement)
+
+    def test_add_remove_object(self):
+        cluster = Cluster(4)
+        cluster.add_object(7, [0, 1])
+        assert cluster.loads() == [1, 1, 0, 0]
+        cluster.remove_object(7)
+        assert cluster.loads() == [0, 0, 0, 0]
+        with pytest.raises(ClusterError):
+            cluster.remove_object(7)
+
+    def test_duplicate_object_rejected(self):
+        cluster = Cluster(4)
+        cluster.add_object(1, [0, 1])
+        with pytest.raises(ClusterError):
+            cluster.add_object(1, [2, 3])
+
+    def test_fail_nodes_and_double_fault(self):
+        cluster = Cluster(4)
+        cluster.fail_nodes([0, 2])
+        assert cluster.failed_nodes() == frozenset({0, 2})
+        with pytest.raises(ClusterError):
+            cluster.fail_nodes([2])
+        cluster.recover_all()
+        assert cluster.failed_nodes() == frozenset()
+
+    def test_liveness_rules(self):
+        cluster = Cluster(5)
+        cluster.add_object(0, [0, 1, 2])
+        cluster.fail_nodes([0])
+        assert cluster.live_objects(read_one_rule(3)) == [0]
+        assert cluster.live_objects(write_all_rule()) == []
+        assert cluster.live_objects(majority_quorum_rule(3)) == [0]
+        cluster.fail_nodes([1])
+        assert cluster.live_objects(majority_quorum_rule(3)) == []
+
+    def test_availability_fraction(self):
+        cluster = Cluster(5)
+        cluster.add_object(0, [0, 1])
+        cluster.add_object(1, [2, 3])
+        cluster.fail_nodes([0, 1])
+        rule = threshold_rule(2)
+        assert cluster.availability(rule) == pytest.approx(0.5)
+
+    def test_empty_cluster_availability(self):
+        assert Cluster(3).availability(threshold_rule(1)) == 1.0
+
+    def test_snapshot_roundtrip(self):
+        cluster = Cluster(5)
+        cluster.add_object(3, [0, 1])
+        cluster.add_object(9, [2, 4])
+        snapshot = cluster.placement_snapshot()
+        assert snapshot.b == 2
+        assert snapshot.replica_sets == (frozenset({0, 1}), frozenset({2, 4}))
+
+    def test_snapshot_empty_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster(3).placement_snapshot()
+
+    def test_racks(self):
+        cluster = Cluster(6, racks=3)
+        assert cluster.racks == 3
+        assert [node.rack for node in cluster.nodes] == [0, 1, 2, 0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            Cluster(0)
+        with pytest.raises(ClusterError):
+            Cluster(3, racks=0)
+        cluster = Cluster(3)
+        with pytest.raises(ClusterError):
+            cluster.add_object(0, [0, 5])
+        with pytest.raises(ClusterError):
+            cluster.fail_nodes([9])

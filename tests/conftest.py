@@ -1,0 +1,17 @@
+"""Shared fixtures and markers for the test suite."""
+
+import random
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (deselect with -m 'not slow')"
+    )
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests needing different streams derive their own."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,85 @@
+"""Tests for the adaptive Combo placement (churn extension)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveComboPlacement
+from repro.core.adversary import ExhaustiveAdversary
+from repro.designs.blocks import BlockDesign
+
+
+def make(n=13, r=3, s=2, k=3, **kwargs):
+    return AdaptiveComboPlacement(n, r, s, k, **kwargs)
+
+
+class TestChurn:
+    def test_add_objects(self):
+        adaptive = make()
+        ids = [adaptive.add_object() for _ in range(20)]
+        assert len(set(ids)) == 20
+        assert adaptive.num_objects == 20
+        placement = adaptive.placement()
+        assert placement.b == 20
+        assert placement.r == 3
+
+    def test_remove_and_reuse(self):
+        adaptive = make()
+        ids = [adaptive.add_object() for _ in range(10)]
+        victim = ids[4]
+        victim_block = adaptive._assignments[victim][1]
+        adaptive.remove_object(victim)
+        assert adaptive.num_objects == 9
+        # Freed block is reused before drawing new ones.
+        newcomer = adaptive.add_object()
+        assert adaptive._assignments[newcomer][1] == victim_block
+
+    def test_remove_unknown_rejected(self):
+        adaptive = make()
+        adaptive.add_object()
+        with pytest.raises(KeyError):
+            adaptive.remove_object(999)
+
+    def test_empty_snapshot_rejected(self):
+        adaptive = make()
+        with pytest.raises(RuntimeError):
+            adaptive.placement()
+
+
+class TestInvariants:
+    def test_packing_multiplicity_bounded_by_paid_lambda(self):
+        adaptive = make(replan_interval=8)
+        for _ in range(60):
+            adaptive.add_object()
+        placement = adaptive.placement()
+        lambdas = adaptive.current_lambdas()
+        design = BlockDesign.from_blocks(
+            13, [tuple(sorted(ns)) for ns in placement.replica_sets]
+        )
+        # Stratum 1 blocks all come from <= lambda_1 copies of an STS(13);
+        # stratum 0 contributes disjoint partition groups; pair multiplicity
+        # is therefore bounded by lambda_1 + lambda_0.
+        assert design.max_coverage(2) <= lambdas[1] + max(lambdas[0], 1)
+
+    def test_lower_bound_sound_under_churn(self):
+        adaptive = make(replan_interval=16)
+        live = [adaptive.add_object() for _ in range(40)]
+        # Churn: remove every third, add some more.
+        for obj_id in live[::3]:
+            adaptive.remove_object(obj_id)
+        for _ in range(10):
+            adaptive.add_object()
+        placement = adaptive.placement()
+        bound = adaptive.lower_bound()
+        attack = ExhaustiveAdversary().attack(placement, 3, 2)
+        assert placement.b - attack.damage >= bound
+
+    def test_lower_bound_zero_when_empty(self):
+        adaptive = make()
+        assert adaptive.lower_bound() == 0
+
+    def test_lambda_growth_is_lazy(self):
+        adaptive = make()
+        # STS(13) has 26 blocks; fewer draws keep lambda at 1.
+        for _ in range(20):
+            adaptive.add_object()
+        lambdas = adaptive.current_lambdas()
+        assert all(lam <= 1 for lam in lambdas)

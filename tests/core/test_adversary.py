@@ -1,0 +1,153 @@
+"""Tests for the worst-case adversary ladder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.adversary as adversary_module
+from repro.core.adversary import (
+    AttackResult,
+    BranchAndBoundAdversary,
+    ExhaustiveAdversary,
+    GreedyAdversary,
+    LocalSearchAdversary,
+    best_attack,
+    damage,
+)
+from repro.core.placement import Placement
+from repro.core.random_placement import RandomStrategy
+
+
+def random_placement(n, r, b, seed):
+    return RandomStrategy(n, r).place(b, random.Random(seed))
+
+
+class TestDamage:
+    def test_counts_threshold(self):
+        p = Placement.from_replica_sets(5, [(0, 1, 2), (2, 3, 4), (0, 3, 4)])
+        assert damage(p, [0, 1], 2) == 1
+        assert damage(p, [0, 1], 1) == 2
+        assert damage(p, [2, 3, 4], 3) == 1
+        assert damage(p, [], 1) == 0
+
+
+class TestExhaustive:
+    def test_finds_known_optimum(self):
+        # Two objects share nodes {0,1}: failing those kills both at s=2.
+        p = Placement.from_replica_sets(
+            6, [(0, 1, 2), (0, 1, 3), (2, 4, 5), (3, 4, 5)]
+        )
+        result = ExhaustiveAdversary().attack(p, 2, 2)
+        assert result.damage == 2
+        assert set(result.nodes) == {0, 1}
+        assert result.exact
+
+    def test_subset_limit_guard(self):
+        p = random_placement(40, 3, 20, 0)
+        with pytest.raises(ValueError):
+            ExhaustiveAdversary(max_subsets=10).attack(p, 5, 2)
+
+    def test_k_validated(self):
+        p = random_placement(10, 3, 20, 0)
+        with pytest.raises(ValueError):
+            ExhaustiveAdversary().attack(p, 0, 2)
+
+
+class TestCrossEngineAgreement:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 3), st.data())
+    def test_bnb_matches_exhaustive(self, seed, k, data):
+        n = data.draw(st.integers(6, 12))
+        r = data.draw(st.integers(2, min(4, n)))
+        s = data.draw(st.integers(1, min(r, k)))
+        p = random_placement(n, r, 25, seed)
+        exhaustive = ExhaustiveAdversary().attack(p, k, s)
+        bnb = BranchAndBoundAdversary().attack(p, k, s)
+        assert bnb.exact
+        assert bnb.damage == exhaustive.damage
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_heuristics_never_exceed_exact(self, seed):
+        p = random_placement(10, 3, 30, seed)
+        exact = ExhaustiveAdversary().attack(p, 3, 2)
+        greedy = GreedyAdversary().attack(p, 3, 2)
+        local = LocalSearchAdversary(restarts=2, rng=random.Random(seed)).attack(
+            p, 3, 2
+        )
+        assert greedy.damage <= exact.damage
+        assert greedy.damage <= local.damage <= exact.damage
+        assert not greedy.exact and not local.exact
+
+    def test_damage_reported_matches_nodes(self):
+        p = random_placement(12, 3, 40, 5)
+        for engine in (
+            ExhaustiveAdversary(),
+            GreedyAdversary(),
+            LocalSearchAdversary(restarts=1),
+            BranchAndBoundAdversary(),
+        ):
+            result = engine.attack(p, 3, 2)
+            assert len(result.nodes) == 3
+            assert damage(p, result.nodes, 2) == result.damage
+
+
+class TestPurePythonPath:
+    def test_pure_python_matches_numpy(self, monkeypatch):
+        p = random_placement(10, 3, 30, 1)
+        with_numpy = ExhaustiveAdversary().attack(p, 3, 2)
+        monkeypatch.setattr(adversary_module, "_FORCE_PURE_PYTHON", [True])
+        without = ExhaustiveAdversary().attack(p, 3, 2)
+        assert with_numpy.damage == without.damage
+
+    def test_pure_python_local_search(self, monkeypatch):
+        monkeypatch.setattr(adversary_module, "_FORCE_PURE_PYTHON", [True])
+        p = random_placement(10, 3, 30, 2)
+        result = LocalSearchAdversary(restarts=1).attack(p, 3, 2)
+        assert damage(p, result.nodes, 2) == result.damage
+
+    def test_pure_python_bnb(self, monkeypatch):
+        p = random_placement(9, 3, 20, 3)
+        expected = ExhaustiveAdversary().attack(p, 3, 2).damage
+        monkeypatch.setattr(adversary_module, "_FORCE_PURE_PYTHON", [True])
+        result = BranchAndBoundAdversary().attack(p, 3, 2)
+        assert result.exact
+        assert result.damage == expected
+
+
+class TestBudgetDegradation:
+    def test_budget_exhaustion_flags_inexact(self):
+        p = random_placement(20, 3, 60, 4)
+        result = BranchAndBoundAdversary(max_nodes=2).attack(p, 4, 2)
+        assert not result.exact
+        # Still a valid attack with consistent accounting.
+        assert damage(p, result.nodes, 2) == result.damage
+
+
+class TestBestAttack:
+    def test_effort_fast(self):
+        p = random_placement(15, 3, 30, 6)
+        result = best_attack(p, 3, 2, effort="fast")
+        assert isinstance(result, AttackResult)
+
+    def test_effort_exact_small(self):
+        p = random_placement(9, 3, 20, 7)
+        result = best_attack(p, 3, 2, effort="exact")
+        assert result.exact
+
+    def test_effort_auto_picks_exact_on_small(self):
+        p = random_placement(9, 3, 20, 8)
+        result = best_attack(p, 2, 2, effort="auto")
+        assert result.exact
+
+    def test_unknown_effort_rejected(self):
+        p = random_placement(9, 3, 20, 9)
+        with pytest.raises(ValueError):
+            best_attack(p, 2, 2, effort="extreme")
+
+    def test_availability_helper(self):
+        p = random_placement(9, 3, 20, 10)
+        result = best_attack(p, 2, 2, effort="exact")
+        assert result.availability(20) == 20 - result.damage

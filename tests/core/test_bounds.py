@@ -1,0 +1,158 @@
+"""Tests for Lemma 1/2/3 bounds and Theorem 1 constants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    lb_avail_combo,
+    lb_avail_simple,
+    minimal_lambda,
+    simple_capacity,
+    theorem1_constants,
+)
+from repro.util.combinatorics import binom
+
+
+class TestLemma1Capacity:
+    def test_paper_values(self):
+        # STS(69) packing capacity inside the Fig 2 experiment.
+        assert simple_capacity(69, 3, 1, 1) == 782
+        assert simple_capacity(69, 3, 1, 2) == 1564
+        # Trivial stratum x + 1 = r.
+        assert simple_capacity(71, 3, 2, 1) == binom(71, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simple_capacity(10, 3, 3, 1)  # x >= r
+        with pytest.raises(ValueError):
+            simple_capacity(10, 3, 1, 0)
+
+
+class TestEqn1MinimalLambda:
+    def test_exact_boundaries(self):
+        # unit = C(69,2)/C(3,2) = 782 objects per lambda step.
+        assert minimal_lambda(782, 69, 3, 1) == 1
+        assert minimal_lambda(783, 69, 3, 1) == 2
+        assert minimal_lambda(1564, 69, 3, 1) == 2
+        assert minimal_lambda(1565, 69, 3, 1) == 3
+
+    def test_eqn1_bracketing(self):
+        # (lambda - mu) * unit < b <= lambda * unit
+        for b in (1, 500, 782, 783, 9600):
+            lam = minimal_lambda(b, 69, 3, 1)
+            unit = 782
+            assert (lam - 1) * unit < b <= lam * unit
+
+    def test_mu_multiples(self):
+        # With mu = 2, lambda moves in steps of 2.
+        assert minimal_lambda(1, 9, 3, 1, mu=2) == 2
+
+    def test_non_integral_unit_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_lambda(10, 8, 3, 1)  # C(8,2)/C(3,2) not integral
+
+    def test_b_validated(self):
+        with pytest.raises(ValueError):
+            minimal_lambda(0, 69, 3, 1)
+
+
+class TestLemma2:
+    def test_paper_formula(self):
+        # lbAvail = b - floor(lam C(k,x+1)/C(s,x+1))
+        assert lb_avail_simple(1200, 3, 2, 1, 2) == 1200 - (2 * 3) // 1
+        assert lb_avail_simple(600, 5, 3, 2, 1) == 600 - binom(5, 3) // 1
+
+    def test_can_go_negative(self):
+        assert lb_avail_simple(10, 6, 2, 1, 100) < 0
+
+    def test_x_must_be_below_s(self):
+        with pytest.raises(ValueError):
+            lb_avail_simple(100, 3, 2, 2, 1)
+
+    def test_lambda_validated(self):
+        with pytest.raises(ValueError):
+            lb_avail_simple(100, 3, 2, 1, 0)
+
+    @given(
+        st.integers(1, 10_000),
+        st.integers(2, 8),
+        st.integers(1, 5),
+        st.data(),
+    )
+    def test_monotone_in_lambda(self, b, k, s, data):
+        s = min(s, k)
+        x = data.draw(st.integers(0, s - 1))
+        lam = data.draw(st.integers(1, 50))
+        assert lb_avail_simple(b, k, s, x, lam) >= lb_avail_simple(
+            b, k, s, x, lam + 1
+        )
+
+
+class TestLemma3:
+    def test_sums_stratum_losses(self):
+        b, k, s = 1200, 4, 3
+        lambdas = (6, 2, 1)
+        expected = b - sum(
+            (lam * binom(k, x + 1)) // binom(s, x + 1)
+            for x, lam in enumerate(lambdas)
+        )
+        assert lb_avail_combo(b, k, s, lambdas) == expected
+
+    def test_zero_strata_skipped(self):
+        assert lb_avail_combo(100, 3, 2, (0, 5)) == 100 - (5 * 3) // 1
+
+    def test_stratum_range_validated(self):
+        with pytest.raises(ValueError):
+            lb_avail_combo(100, 3, 2, (1, 1, 1))  # x = 2 >= s = 2
+
+    def test_single_stratum_reduces_to_lemma2(self):
+        b, k, s, x, lam = 900, 5, 3, 1, 4
+        lambdas = [0] * s
+        lambdas[x] = lam
+        assert lb_avail_combo(b, k, s, lambdas) == lb_avail_simple(b, k, s, x, lam)
+
+
+class TestTheorem1:
+    def test_paper_illustration_s_equals_r(self):
+        # With s = r the binomials cancel; c approx (1 - (k/n)^(x+1))^-1.
+        constants = theorem1_constants(nx=100, r=3, s=3, k=10, x=1)
+        assert constants.applicable
+        ratio = (
+            binom(3, 2) * binom(10, 2) / (binom(100, 2) * binom(3, 2))
+        )
+        assert constants.competitive_ratio == pytest.approx(1 / (1 - ratio))
+
+    def test_inapplicable_when_ratio_too_big(self):
+        constants = theorem1_constants(nx=6, r=5, s=2, k=5, x=1)
+        assert not constants.applicable
+
+    def test_alpha_formula(self):
+        constants = theorem1_constants(nx=69, r=3, s=2, k=3, x=1, mu=1)
+        # alpha = c * mu * C(k,2)/C(s,2) = c * 3
+        assert float(constants.alpha) == pytest.approx(
+            constants.competitive_ratio * 3.0
+        )
+
+    def test_inequality_on_small_instance(self):
+        # Avail(pi') < c Avail(pi) + alpha for an enumerable instance:
+        # any placement pi' vs a Simple(1, 1) placement pi from STS(9).
+        from itertools import combinations
+        from repro.core.adversary import ExhaustiveAdversary
+        from repro.core.placement import Placement
+        from repro.core.simple import SimpleStrategy
+
+        n, r, s, k, b = 9, 3, 2, 2, 10
+        strategy = SimpleStrategy(n, r, 1)
+        pi = strategy.place(b)
+        adversary = ExhaustiveAdversary()
+        avail_pi = b - adversary.attack(pi, k, s).damage
+        constants = theorem1_constants(nx=9, r=r, s=s, k=k, x=1)
+        assert constants.applicable
+        c = constants.competitive_ratio
+        alpha = float(constants.alpha)
+        # A strong competitor: another Simple-style placement shifted.
+        competitor_sets = [tuple((p + 1) % n for p in blk) for blk in pi.replica_sets]
+        pi_prime = Placement.from_replica_sets(n, competitor_sets)
+        avail_prime = b - adversary.attack(pi_prime, k, s).damage
+        assert avail_prime < c * avail_pi + alpha

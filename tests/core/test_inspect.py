@@ -1,0 +1,116 @@
+"""Tests for placement inspection and certified availability."""
+
+import random
+
+import pytest
+
+from repro.core.adversary import ExhaustiveAdversary
+from repro.core.inspect import (
+    audit_placement,
+    certified_availability,
+    expected_random_multiplicity,
+    packing_profile,
+)
+from repro.core.placement import Placement
+from repro.core.random_placement import RandomStrategy
+from repro.core.simple import SimpleStrategy
+
+
+class TestProfile:
+    def test_simple_placement_profile_matches_lambda(self):
+        strategy = SimpleStrategy(13, 3, 1)
+        placement = strategy.place(30)
+        profile = packing_profile(placement)
+        assert profile.lam(1) == strategy.minimal_lambda(30)
+        # x = 2 (whole blocks): distinct blocks except across copies.
+        assert profile.lam(2) >= 1
+
+    def test_known_profile_by_hand(self):
+        placement = Placement.from_replica_sets(
+            5, [(0, 1, 2), (0, 1, 3), (2, 3, 4)]
+        )
+        profile = packing_profile(placement)
+        assert profile.lam(0) == 2  # nodes 0..3 host two objects each
+        assert profile.lam(1) == 2  # pair (0,1) shared by two objects
+        assert profile.lam(2) == 1
+
+    def test_max_x_truncation(self):
+        placement = Placement.from_replica_sets(5, [(0, 1, 2), (2, 3, 4)])
+        profile = packing_profile(placement, max_x=0)
+        assert profile.lam(0) == 2
+        assert profile.multiplicities[1] == 0  # not measured
+
+    def test_lam_range_validated(self):
+        placement = Placement.from_replica_sets(5, [(0, 1, 2)])
+        profile = packing_profile(placement)
+        with pytest.raises(ValueError):
+            profile.lam(3)
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_certificate_sound_vs_exact_adversary(self, seed):
+        placement = RandomStrategy(12, 3).place(40, random.Random(seed))
+        for s in (1, 2, 3):
+            for k in (s, s + 1):
+                floor = certified_availability(placement, k, s)
+                exact = ExhaustiveAdversary().attack(placement, k, s)
+                assert placement.b - exact.damage >= floor, (seed, k, s)
+
+    def test_certificate_nonnegative(self):
+        placement = RandomStrategy(8, 2).place(100, random.Random(3))
+        assert certified_availability(placement, 3, 1) >= 0
+
+    def test_structured_beats_random_certificate(self):
+        # A Simple placement certifies more availability than a typical
+        # Random placement of the same shape.
+        simple = SimpleStrategy(13, 3, 1).place(26)
+        rnd = RandomStrategy(13, 3).place(26, random.Random(4))
+        assert certified_availability(simple, 3, 2) >= certified_availability(
+            rnd, 3, 2
+        )
+
+    def test_validation(self):
+        placement = RandomStrategy(10, 3).place(20, random.Random(0))
+        with pytest.raises(ValueError):
+            certified_availability(placement, 2, 4)
+        with pytest.raises(ValueError):
+            certified_availability(placement, 1, 2)
+
+
+class TestAudit:
+    def test_audit_grid(self):
+        placement = SimpleStrategy(13, 3, 1).place(26)
+        audit = audit_placement(placement, k_values=(2, 3), s_values=(2, 3))
+        assert (2, 2) in audit.certificates
+        assert (3, 3) in audit.certificates
+        assert (2, 3) not in audit.certificates  # k < s filtered out
+        text = audit.render()
+        assert "placement audit" in text
+        assert "lambda" in text
+
+    def test_audit_requires_grid(self):
+        placement = SimpleStrategy(13, 3, 1).place(26)
+        with pytest.raises(ValueError):
+            audit_placement(placement, k_values=(), s_values=(2,))
+
+
+class TestExpectedMultiplicity:
+    def test_formula(self):
+        assert expected_random_multiplicity(10, 100, 3, 0) == pytest.approx(
+            100 * 3 / 10
+        )
+        assert expected_random_multiplicity(10, 100, 3, 1) == pytest.approx(
+            100 * 3 / 45
+        )
+
+    def test_measured_random_profile_near_expectation(self):
+        placement = RandomStrategy(20, 3).place(400, random.Random(5))
+        profile = packing_profile(placement, max_x=0)
+        expected = expected_random_multiplicity(20, 400, 3, 0)
+        # Max load is above the mean but within a small factor under quota.
+        assert expected <= profile.lam(0) <= 1.2 * expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_random_multiplicity(10, 100, 3, 3)

@@ -1,0 +1,111 @@
+"""Tests for the Placement value type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import Placement, PlacementError
+
+
+def make(n, sets, strategy=""):
+    return Placement.from_replica_sets(n, sets, strategy=strategy)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = make(5, [(0, 1, 2), (2, 3, 4)])
+        assert p.b == 2
+        assert p.r == 3
+        assert p.n == 5
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(PlacementError):
+            make(5, [(0, 0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PlacementError):
+            make(3, [(0, 1, 3)])
+
+    def test_rejects_mixed_r(self):
+        with pytest.raises(PlacementError):
+            make(5, [(0, 1, 2), (3, 4)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(PlacementError):
+            make(5, [])
+
+
+class TestQueries:
+    def test_loads(self):
+        p = make(4, [(0, 1), (0, 2), (0, 3)])
+        assert p.loads() == [3, 1, 1, 1]
+        assert p.max_load() == 3
+
+    def test_objects_on(self):
+        p = make(4, [(0, 1), (0, 2), (2, 3)])
+        assert p.objects_on(0) == [0, 1]
+        assert p.objects_on(3) == [2]
+        with pytest.raises(PlacementError):
+            p.objects_on(4)
+
+    def test_node_to_objects_matches_objects_on(self):
+        p = make(4, [(0, 1), (0, 2), (2, 3)])
+        table = p.node_to_objects()
+        for node in range(4):
+            assert table[node] == p.objects_on(node)
+
+    def test_failed_objects_threshold(self):
+        p = make(5, [(0, 1, 2), (2, 3, 4), (0, 3, 4)])
+        assert p.failed_objects([0, 1], s=2) == [0]
+        assert p.failed_objects([0, 1], s=1) == [0, 2]
+        assert p.surviving_objects([0, 1], s=2) == [1, 2]
+
+    def test_failed_plus_surviving_partition(self):
+        p = make(6, [(0, 1, 2), (3, 4, 5), (0, 3, 5)])
+        for s in (1, 2, 3):
+            failed = set(p.failed_objects([0, 3], s))
+            surviving = set(p.surviving_objects([0, 3], s))
+            assert failed | surviving == {0, 1, 2}
+            assert failed & surviving == set()
+
+
+class TestCombinators:
+    def test_restricted_to(self):
+        p = make(5, [(0, 1), (1, 2), (3, 4)])
+        sub = p.restricted_to([0, 2])
+        assert sub.b == 2
+        assert sub.replica_sets == (frozenset({0, 1}), frozenset({3, 4}))
+        with pytest.raises(PlacementError):
+            p.restricted_to([])
+
+    def test_concatenated_with(self):
+        a = make(5, [(0, 1)], strategy="A")
+        b = make(5, [(2, 3)], strategy="B")
+        both = a.concatenated_with(b)
+        assert both.b == 2
+        assert both.strategy == "A+B"
+
+    def test_concatenate_mismatched_rejected(self):
+        a = make(5, [(0, 1)])
+        with pytest.raises(PlacementError):
+            a.concatenated_with(make(6, [(0, 1)]))
+        with pytest.raises(PlacementError):
+            a.concatenated_with(make(5, [(0, 1, 2)]))
+
+
+class TestSerialization:
+    @settings(max_examples=25)
+    @given(st.integers(4, 10), st.integers(1, 8), st.data())
+    def test_roundtrip(self, n, b, data):
+        r = data.draw(st.integers(1, min(3, n)))
+        sets = [
+            data.draw(
+                st.lists(
+                    st.integers(0, n - 1), min_size=r, max_size=r, unique=True
+                )
+            )
+            for _ in range(b)
+        ]
+        p = make(n, sets, strategy="prop")
+        again = Placement.from_dict(p.to_dict())
+        assert again == p

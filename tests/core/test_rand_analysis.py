@@ -1,0 +1,129 @@
+"""Tests for Theorem 2 / Definition 6 / Lemma 4 analytics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rand_analysis import (
+    alpha,
+    failure_probability,
+    lemma4_upper_bound,
+    log_vulnerability,
+    max_vulnerable_objects,
+    pr_avail_fraction,
+    pr_avail_rnd,
+)
+from repro.util.combinatorics import binom
+
+
+class TestAlpha:
+    def test_brute_force_small(self):
+        # alpha counts r-subsets hitting a fixed k-set in >= s points.
+        from itertools import combinations
+
+        n, k, r, s = 8, 3, 3, 2
+        fixed = set(range(k))
+        expected = sum(
+            1 for subset in combinations(range(n), r) if len(fixed & set(subset)) >= s
+        )
+        assert alpha(n, k, r, s) == expected
+
+    @given(
+        st.integers(5, 40),
+        st.integers(1, 10),
+        st.integers(1, 5),
+        st.integers(1, 5),
+    )
+    def test_bounds_and_monotonicity(self, n, k, r, s):
+        if not (s <= r <= n and k <= n):
+            return
+        value = alpha(n, k, r, s)
+        assert 0 <= value <= binom(n, r)
+        if s > 1:
+            assert value <= alpha(n, k, r, s - 1)
+
+    def test_s_one_complement_identity(self):
+        # s=1: objects NOT failing avoid K entirely: alpha = C(n,r)-C(n-k,r).
+        n, k, r = 20, 4, 3
+        assert alpha(n, k, r, 1) == binom(n, r) - binom(n - k, r)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha(10, 3, 2, 3)
+        with pytest.raises(ValueError):
+            alpha(10, 11, 2, 1)
+
+
+class TestVulnerability:
+    def test_monotone_decreasing_in_f(self):
+        values = [
+            log_vulnerability(31, 3, 5, 3, 600, f) for f in range(0, 50, 5)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_f_zero_is_count_of_subsets(self):
+        assert log_vulnerability(31, 3, 5, 3, 600, 0) == pytest.approx(
+            math.log(binom(31, 3))
+        )
+
+    def test_max_vulnerable_is_threshold(self):
+        n, k, r, s, b = 31, 3, 5, 3, 600
+        f_star = max_vulnerable_objects(n, k, r, s, b)
+        assert log_vulnerability(n, k, r, s, b, f_star) >= 0
+        assert log_vulnerability(n, k, r, s, b, f_star + 1) < 0
+
+
+class TestPrAvail:
+    def test_complements_threshold(self):
+        n, k, r, s, b = 71, 5, 5, 2, 2400
+        assert pr_avail_rnd(n, k, r, s, b) == b - max_vulnerable_objects(
+            n, k, r, s, b
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8))
+    def test_monotone_in_k(self, k):
+        # More failures -> fewer objects probably available.
+        n, r, s, b = 71, 5, 2, 1200
+        if k >= s:
+            assert pr_avail_rnd(n, k, r, s, b) >= pr_avail_rnd(n, k + 1, r, s, b)
+
+    def test_monotone_in_s(self):
+        # Harder-to-kill objects (bigger s) -> more availability.
+        n, k, r, b = 71, 5, 5, 2400
+        values = [pr_avail_rnd(n, k, r, s, b) for s in range(1, 6)]
+        assert all(a <= b_ for a, b_ in zip(values, values[1:]))
+
+    def test_fig8_shape_anchor(self):
+        # s = 1 decays far faster than s = r = 5 (paper's Fig 8 takeaway).
+        frac_s1 = pr_avail_fraction(71, 5, 5, 1, 38400)
+        frac_s5 = pr_avail_fraction(71, 5, 5, 5, 38400)
+        assert frac_s5 > 0.999
+        assert frac_s1 < 0.75
+
+    def test_b_validated(self):
+        with pytest.raises(ValueError):
+            pr_avail_rnd(31, 3, 5, 3, 0)
+
+
+class TestLemma4:
+    def test_formula(self):
+        n, k, r, b = 71, 5, 3, 38400
+        load = math.floor(r * b / n)
+        expected = b * (1 - 1 / b) ** (k * load)
+        assert lemma4_upper_bound(n, k, r, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_requires_k_below_half(self):
+        with pytest.raises(ValueError):
+            lemma4_upper_bound(10, 5, 3, 100)
+
+    def test_bounds_pr_avail_loosely(self):
+        # Lemma 4 is an upper bound on prAvail for s = 1.
+        n, k, r, b = 71, 5, 3, 2400
+        assert pr_avail_rnd(n, k, r, 1, b) <= lemma4_upper_bound(n, k, r, b) + 1
+
+    def test_decay_in_k(self):
+        values = [lemma4_upper_bound(71, k, 3, 38400) for k in range(1, 10)]
+        assert all(a > b_ for a, b_ in zip(values, values[1:]))

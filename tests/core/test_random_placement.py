@@ -1,0 +1,103 @@
+"""Tests for Random (Definition 4) and Random' placements."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.random_placement import RandomStrategy, UnconstrainedRandomStrategy
+from repro.util.combinatorics import ceil_div
+
+
+class TestRandomStrategy:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(5, 40),
+        st.integers(2, 5),
+        st.integers(1, 200),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_definition4_invariants(self, n, r, b, seed):
+        if r > n:
+            return
+        placement = RandomStrategy(n, r).place(b, random.Random(seed))
+        assert placement.b == b
+        # Replica sets have r distinct nodes (enforced by Placement) and the
+        # load quota ceil(r b / n) holds on every node.
+        assert placement.r == r
+        assert placement.max_load() <= ceil_div(r * b, n)
+
+    def test_deterministic_under_seed(self):
+        strategy = RandomStrategy(31, 5)
+        a = strategy.place(100, random.Random(7))
+        b = strategy.place(100, random.Random(7))
+        assert a.replica_sets == b.replica_sets
+
+    def test_different_seeds_differ(self):
+        strategy = RandomStrategy(31, 5)
+        a = strategy.place(100, random.Random(7))
+        b = strategy.place(100, random.Random(8))
+        assert a.replica_sets != b.replica_sets
+
+    def test_explicit_load_limit_respected(self):
+        placement = RandomStrategy(10, 2, load_limit=5).place(
+            20, random.Random(1)
+        )
+        assert placement.max_load() <= 5
+
+    def test_infeasible_limit_rejected(self):
+        from repro.core.placement import PlacementError
+
+        with pytest.raises(PlacementError):
+            RandomStrategy(10, 2, load_limit=1).place(20, random.Random(1))
+
+    def test_tight_quota_still_solvable(self):
+        # r*b exactly n*limit: every slot used, repair must still converge.
+        placement = RandomStrategy(6, 3).place(10, random.Random(3))
+        assert placement.max_load() == 5
+
+    def test_marginal_uniformity_sanity(self):
+        # Each node's expected load is r*b/n; across many placements the
+        # empirical mean should be close (loose 3-sigma-style check).
+        strategy = RandomStrategy(9, 3)
+        totals = [0] * 9
+        reps = 60
+        for i in range(reps):
+            placement = strategy.place(30, random.Random(i))
+            for node, load in enumerate(placement.loads()):
+                totals[node] += load
+        mean_loads = [t / reps for t in totals]
+        for mean_load in mean_loads:
+            assert 8.0 <= mean_load <= 12.0  # target 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(3, 4)
+        with pytest.raises(ValueError):
+            RandomStrategy(10, 2).place(0)
+
+
+class TestUnconstrainedRandom:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 30), st.integers(1, 5), st.integers(1, 100), st.integers(0, 1000))
+    def test_distinct_nodes_per_object(self, n, r, b, seed):
+        if r > n:
+            return
+        placement = UnconstrainedRandomStrategy(n, r).place(b, random.Random(seed))
+        assert placement.b == b
+        assert placement.r == r
+
+    def test_no_quota(self):
+        # With many objects on few nodes some node exceeds the Random quota
+        # eventually -- the defining difference from Definition 4.
+        placement = UnconstrainedRandomStrategy(4, 1).place(
+            400, random.Random(0)
+        )
+        assert placement.max_load() > ceil_div(400, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnconstrainedRandomStrategy(3, 4)
+        with pytest.raises(ValueError):
+            UnconstrainedRandomStrategy(5, 2).place(-1)

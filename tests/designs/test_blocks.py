@@ -1,0 +1,146 @@
+"""Tests for BlockDesign containers and design/packing verification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from itertools import combinations
+
+from repro.designs.blocks import (
+    BlockDesign,
+    DesignError,
+    design_block_count,
+    divisibility_conditions_hold,
+    packing_capacity,
+)
+
+FANO = [
+    (0, 1, 2), (0, 3, 4), (0, 5, 6),
+    (1, 3, 5), (1, 4, 6), (2, 3, 6), (2, 4, 5),
+]
+
+
+class TestConstruction:
+    def test_fano_is_design(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        assert design.is_design(2, 1)
+        assert design.is_packing(2, 1)
+        assert design.num_blocks == 7
+        assert design.block_size == 3
+
+    def test_rejects_duplicate_points_in_block(self):
+        with pytest.raises(DesignError):
+            BlockDesign.from_blocks(5, [(0, 0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DesignError):
+            BlockDesign.from_blocks(3, [(0, 1, 3)])
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(DesignError):
+            BlockDesign.from_blocks(5, [(0, 1, 2), (3, 4)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignError):
+            BlockDesign.from_blocks(5, [])
+
+    def test_blocks_are_sorted_tuples(self):
+        design = BlockDesign.from_blocks(5, [(2, 0, 4)])
+        assert design.blocks == ((0, 2, 4),)
+
+
+class TestCoverage:
+    def test_coverage_counts_fano(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        counts = design.coverage_counts(2)
+        assert len(counts) == 21
+        assert set(counts.values()) == {1}
+
+    def test_multiset_blocks_raise_coverage(self):
+        design = BlockDesign.from_blocks(7, FANO + FANO)
+        assert design.max_coverage(2) == 2
+        assert design.is_design(2, 2)
+        assert not design.is_packing(2, 1)
+        assert design.is_packing(2, 2)
+
+    def test_coverage_brute_force_agreement(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        counts = design.coverage_counts(2)
+        for pair in combinations(range(7), 2):
+            expected = sum(1 for blk in FANO if set(pair) <= set(blk))
+            assert counts.get(pair, 0) == expected
+
+    def test_invalid_t(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        with pytest.raises(ValueError):
+            design.coverage_counts(0)
+        with pytest.raises(ValueError):
+            design.coverage_counts(4)
+
+    def test_incomplete_design_detected(self):
+        # Drop one block: pairs in it are no longer covered.
+        design = BlockDesign.from_blocks(7, FANO[:-1])
+        assert not design.is_design(2, 1)
+        assert design.is_packing(2, 1)
+
+
+class TestOperations:
+    def test_replication_counts(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        assert design.replication_counts() == [3] * 7
+
+    def test_relabel(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        shifted = design.relabel([i + 1 for i in range(7)], 8)
+        assert shifted.v == 8
+        assert shifted.is_packing(2, 1)
+        assert all(0 not in block for block in shifted.blocks)
+
+    def test_relabel_rejects_non_injective(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        with pytest.raises(DesignError):
+            design.relabel([0] * 7, 7)
+
+    def test_relabel_rejects_short_mapping(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        with pytest.raises(DesignError):
+            design.relabel([0, 1, 2], 7)
+
+    def test_point_sets(self):
+        design = BlockDesign.from_blocks(7, FANO)
+        assert design.point_sets()[0] == frozenset({0, 1, 2})
+
+
+class TestCapacityFormulas:
+    def test_design_block_count(self):
+        assert design_block_count(7, 3, 2, 1) == 7
+        assert design_block_count(9, 3, 2, 1) == 12
+        with pytest.raises(DesignError):
+            design_block_count(8, 3, 2, 1)  # not integral
+
+    def test_divisibility_conditions(self):
+        assert divisibility_conditions_hold(7, 3, 2, 1)
+        assert not divisibility_conditions_hold(8, 3, 2, 1)
+        assert divisibility_conditions_hold(8, 4, 3, 1)  # SQS(8)
+        assert not divisibility_conditions_hold(9, 4, 3, 1)
+
+    def test_packing_capacity_lemma1(self):
+        # Lemma 1 with the paper's Fig 2 parameters: lambda C(71,2)/C(3,2).
+        assert packing_capacity(71, 3, 2, 1) == 71 * 70 // 2 // 3
+        assert packing_capacity(71, 3, 2, 2) == 2 * (71 * 70 // 2) // 3
+
+    def test_packing_capacity_validation(self):
+        with pytest.raises(ValueError):
+            packing_capacity(5, 6, 2, 1)
+        with pytest.raises(ValueError):
+            packing_capacity(5, 3, 2, 0)
+
+    @given(
+        st.integers(3, 40),
+        st.integers(2, 5),
+        st.integers(1, 4),
+        st.integers(1, 6),
+    )
+    def test_capacity_monotone_in_lambda(self, v, r, t, lam):
+        if not t <= r <= v:
+            return
+        assert packing_capacity(v, r, t, lam + 1) >= packing_capacity(v, r, t, lam)

@@ -1,0 +1,143 @@
+"""Tests for the existence catalog: tiers, spectra, builders, Fig-4 orders."""
+
+import pytest
+
+from repro.designs.blocks import DesignError
+from repro.designs.catalog import (
+    Existence,
+    build,
+    existence,
+    largest_order,
+    min_lambda,
+    small_witt_design,
+    steiner_orders,
+)
+
+
+class TestSpectra:
+    def test_sts_spectrum_constructible(self):
+        for v in (7, 9, 13, 15, 69, 255):
+            assert existence(v, 3, 2) == Existence.CONSTRUCTIBLE
+        for v in (8, 11, 17):
+            assert existence(v, 3, 2) == Existence.NONE
+
+    def test_2_design_r4_spectrum(self):
+        # Hanani: complete for v = 1, 4 mod 12.
+        assert existence(13, 4, 2) == Existence.CONSTRUCTIBLE  # PG(2,3)
+        assert existence(16, 4, 2) == Existence.CONSTRUCTIBLE  # AG(2,4)
+        assert existence(28, 4, 2) == Existence.CONSTRUCTIBLE  # unital H(3)
+        assert existence(64, 4, 2) == Existence.CONSTRUCTIBLE  # AG(3,4)
+        assert existence(25, 4, 2) >= Existence.KNOWN
+        assert existence(37, 4, 2) >= Existence.KNOWN
+        assert existence(70, 4, 2) == Existence.NONE  # the corrupted Fig-4 cell
+
+    def test_2_design_r5_spectrum(self):
+        assert existence(21, 5, 2) == Existence.CONSTRUCTIBLE  # PG(2,4)
+        assert existence(25, 5, 2) == Existence.CONSTRUCTIBLE  # AG(2,5)
+        assert existence(65, 5, 2) == Existence.CONSTRUCTIBLE  # unital H(4)
+        assert existence(41, 5, 2) >= Existence.KNOWN
+        assert existence(245, 5, 2) >= Existence.KNOWN
+        assert existence(22, 5, 2) == Existence.NONE
+
+    def test_sqs_spectrum(self):
+        assert existence(8, 4, 3) == Existence.CONSTRUCTIBLE
+        assert existence(20, 4, 3) == Existence.CONSTRUCTIBLE
+        assert existence(26, 4, 3) == Existence.KNOWN  # exists, not built here
+        assert existence(70, 4, 3) == Existence.KNOWN  # paper's n2 for (71, 4)
+        assert existence(12, 4, 3) == Existence.NONE
+
+    def test_3_5_sporadics(self):
+        assert existence(17, 5, 3) == Existence.CONSTRUCTIBLE
+        assert existence(65, 5, 3) == Existence.CONSTRUCTIBLE
+        assert existence(26, 5, 3) == Existence.KNOWN  # Hanani-Hartman-Kramer
+        # Divisibility-admissible but unknown: tier reflects that.
+        assert existence(41, 5, 3) == Existence.DIVISIBILITY
+        # 3-(47,5,1) fails divisibility ((46*45/12) is not integral).
+        assert existence(47, 5, 3) == Existence.NONE
+
+    def test_4_5_sporadics_and_nonexistence(self):
+        assert existence(11, 5, 4) == Existence.CONSTRUCTIBLE
+        assert existence(23, 5, 4) == Existence.KNOWN
+        assert existence(47, 5, 4) == Existence.KNOWN
+        assert existence(17, 5, 4) == Existence.NONE  # Ostergard-Pottonen
+
+    def test_trivial_and_partition(self):
+        assert existence(10, 4, 4) == Existence.CONSTRUCTIBLE
+        assert existence(12, 4, 1) == Existence.CONSTRUCTIBLE
+        assert existence(13, 4, 1) == Existence.NONE
+
+    def test_lambda_scaling(self):
+        # Copies of a constructible system realize any multiple.
+        assert existence(9, 3, 2, 5) == Existence.CONSTRUCTIBLE
+        # For 2-(8,3,lambda), divisibility forces lambda = 0 mod 6; lambda=6
+        # is exactly the complete design (all 3-subsets), hence constructible.
+        assert existence(8, 3, 2, 1) == Existence.NONE
+        assert existence(8, 3, 2, 3) == Existence.NONE
+        assert existence(8, 3, 2, 6) == Existence.CONSTRUCTIBLE
+        # A multiplicity that only passes necessary conditions: 3-(41,5,2).
+        assert existence(41, 5, 3, 2) == Existence.DIVISIBILITY
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "v,r,t",
+        [(7, 3, 2), (9, 3, 2), (13, 4, 2), (16, 4, 2), (25, 5, 2),
+         (8, 4, 3), (10, 4, 3), (17, 5, 3)],
+    )
+    def test_build_verifies(self, v, r, t):
+        design = build(v, r, t)
+        assert design.v == v
+        assert design.block_size == r
+        assert design.is_design(t, 1)
+
+    def test_build_unconstructible_raises(self):
+        with pytest.raises(DesignError):
+            build(26, 4, 3)
+
+    def test_build_nonexistent_raises(self):
+        with pytest.raises(DesignError):
+            build(8, 3, 2)
+
+    def test_trivial_prefix_guard(self):
+        design = build(10, 3, 3, trivial_prefix=20)
+        assert design.num_blocks == 20
+        with pytest.raises(DesignError):
+            build(257, 5, 5)  # would materialize billions of blocks
+
+    def test_witt_design(self):
+        witt = small_witt_design()
+        assert witt.v == 12
+        assert witt.num_blocks == 132
+        assert witt.is_design(5, 1)
+
+    def test_build_s_4_5_11(self):
+        design = build(11, 5, 4)
+        assert design.num_blocks == 66
+        assert design.is_design(4, 1)
+
+
+class TestOrderQueries:
+    def test_fig4_known_orders(self):
+        # The paper's Fig. 4 table at the KNOWN tier (two corrected cells).
+        expected = {
+            (31, 3, 2): 31, (31, 4, 2): 28, (31, 4, 3): 28, (31, 5, 2): 25,
+            (31, 5, 3): 26, (31, 5, 4): 23,
+            (71, 3, 2): 69, (71, 4, 2): 64, (71, 4, 3): 70, (71, 5, 2): 65,
+            (71, 5, 3): 65, (71, 5, 4): 47,
+            (257, 3, 2): 255, (257, 4, 2): 256, (257, 4, 3): 256,
+            (257, 5, 2): 245, (257, 5, 3): 257, (257, 5, 4): 243,
+        }
+        for (n, r, t), order in expected.items():
+            assert largest_order(n, r, t, Existence.KNOWN) == order, (n, r, t)
+
+    def test_steiner_orders_list(self):
+        orders = steiner_orders(3, 2, 30, Existence.CONSTRUCTIBLE)
+        assert orders == [3, 7, 9, 13, 15, 19, 21, 25, 27]
+
+    def test_largest_order_none_when_empty(self):
+        assert largest_order(4, 5, 4, Existence.KNOWN) is None
+
+    def test_min_lambda(self):
+        assert min_lambda(9, 3, 2, 3) == 1
+        assert min_lambda(8, 3, 2, 10, tier=Existence.DIVISIBILITY) == 6
+        assert min_lambda(8, 3, 2, 5, tier=Existence.DIVISIBILITY) is None

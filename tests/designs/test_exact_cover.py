@@ -1,0 +1,120 @@
+"""Tests for the DLX exact-cover solver."""
+
+import pytest
+
+from repro.designs.exact_cover import ExactCover, SearchBudgetExceeded
+
+
+class TestBasics:
+    def test_knuth_example(self):
+        # The classic 7-column example from Knuth's DLX paper.
+        problem = ExactCover(7)
+        rows = [
+            [2, 4, 5],
+            [0, 3, 6],
+            [1, 2, 5],
+            [0, 3],
+            [1, 6],
+            [3, 4, 6],
+        ]
+        ids = [problem.add_row(r) for r in rows]
+        solution = problem.solve()
+        assert solution is not None
+        covered = sorted(c for rid in solution for c in rows[ids.index(rid)])
+        assert covered == list(range(7))
+
+    def test_infeasible(self):
+        problem = ExactCover(3)
+        problem.add_row([0, 1])
+        problem.add_row([1, 2])
+        assert problem.solve() is None
+
+    def test_all_solutions(self):
+        problem = ExactCover(2)
+        problem.add_row([0])
+        problem.add_row([1])
+        problem.add_row([0, 1])
+        solutions = {frozenset(sol) for sol in problem.solutions()}
+        assert solutions == {frozenset({0, 1}), frozenset({2})}
+
+    def test_empty_row_rejected(self):
+        problem = ExactCover(3)
+        with pytest.raises(ValueError):
+            problem.add_row([])
+
+    def test_bad_column_rejected(self):
+        problem = ExactCover(3)
+        with pytest.raises(ValueError):
+            problem.add_row([3])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ExactCover(0)
+
+
+class TestSelectRow:
+    def test_preselection_appears_in_solution(self):
+        problem = ExactCover(4)
+        r0 = problem.add_row([0, 1])
+        problem.add_row([2, 3])
+        problem.add_row([0, 2])
+        problem.add_row([1, 3])
+        problem.select_row(r0)
+        solution = problem.solve()
+        assert solution is not None
+        assert r0 in solution
+
+    def test_preselection_can_make_infeasible(self):
+        problem = ExactCover(3)
+        r0 = problem.add_row([0, 1])
+        problem.add_row([0, 2])  # the only row covering 2 clashes with r0
+        problem.select_row(r0)
+        assert problem.solve() is None
+
+    def test_unknown_row_rejected(self):
+        problem = ExactCover(2)
+        problem.add_row([0])
+        with pytest.raises(ValueError):
+            problem.select_row(5)
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        # A pathologically branchy instance with a tiny budget.
+        problem = ExactCover(8)
+        for i in range(8):
+            for j in range(i + 1, 8):
+                problem.add_row([i, j])
+        with pytest.raises(SearchBudgetExceeded):
+            problem.solve(max_nodes=1)
+
+    def test_budget_sufficient_finds_solution(self):
+        problem = ExactCover(4)
+        for i in range(4):
+            problem.add_row([i])
+        assert problem.solve(max_nodes=100) is not None
+
+
+class TestLatinSquareShape:
+    def test_latin_square_completion_count(self):
+        # Exact covers of a 2x2 latin square: rows are (cell, symbol) choices
+        # encoded over columns (cell columns + row/col-symbol constraints).
+        # There are exactly 2 latin squares of order 2.
+        n = 2
+        cells = {(r, c): i for i, (r, c) in enumerate(
+            (r, c) for r in range(n) for c in range(n)
+        )}
+        row_sym = {(r, v): n * n + i for i, (r, v) in enumerate(
+            (r, v) for r in range(n) for v in range(n)
+        )}
+        col_sym = {(c, v): 2 * n * n + i for i, (c, v) in enumerate(
+            (c, v) for c in range(n) for v in range(n)
+        )}
+        problem = ExactCover(3 * n * n)
+        for r in range(n):
+            for c in range(n):
+                for v in range(n):
+                    problem.add_row(
+                        [cells[(r, c)], row_sym[(r, v)], col_sym[(c, v)]]
+                    )
+        assert sum(1 for _ in problem.solutions()) == 2

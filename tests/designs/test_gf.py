@@ -1,0 +1,101 @@
+"""Field-axiom and table tests for GF(p^m)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.gf import GF, gf
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+@pytest.mark.parametrize("q", FIELD_ORDERS)
+class TestFieldAxioms:
+    def test_additive_group(self, q):
+        field = gf(q)
+        for a in field.elements():
+            assert field.add(a, 0) == a
+            assert field.add(a, field.neg(a)) == 0
+
+    def test_multiplicative_group(self, q):
+        field = gf(q)
+        for a in field.elements():
+            assert field.mul(a, 1) == a
+            if a != 0:
+                assert field.mul(a, field.inv(a)) == 1
+
+    def test_distributivity_sampled(self, q):
+        field = gf(q)
+        elements = list(field.elements())
+        sample = elements[:: max(1, len(elements) // 5)]
+        for a in sample:
+            for b in sample:
+                for c in sample:
+                    left = field.mul(a, field.add(b, c))
+                    right = field.add(field.mul(a, b), field.mul(a, c))
+                    assert left == right
+
+    def test_primitive_element_generates(self, q):
+        field = gf(q)
+        g = field.primitive_element
+        seen = set()
+        value = 1
+        for _ in range(q - 1):
+            seen.add(value)
+            value = field.mul(value, g)
+        assert seen == set(range(1, q))
+
+
+class TestFieldMisc:
+    def test_non_prime_power_rejected(self):
+        with pytest.raises(ValueError):
+            GF(6)
+        with pytest.raises(ValueError):
+            GF(1)
+
+    def test_out_of_range_rejected(self):
+        field = gf(5)
+        with pytest.raises(ValueError):
+            field.add(5, 0)
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            gf(7).inv(0)
+        with pytest.raises(ZeroDivisionError):
+            gf(7).pow(0, -1)
+
+    def test_pow(self):
+        field = gf(9)
+        for a in range(1, 9):
+            assert field.pow(a, 8) == 1  # Lagrange: a^(q-1) = 1
+            assert field.pow(a, 0) == 1
+        assert field.pow(0, 0) == 1
+        assert field.pow(0, 3) == 0
+
+    def test_frobenius_is_additive_in_char2(self):
+        field = gf(16)
+        for a in range(16):
+            for b in range(0, 16, 3):
+                assert field.pow(field.add(a, b), 2) == field.add(
+                    field.pow(a, 2), field.pow(b, 2)
+                )
+
+    def test_cache_returns_same_object(self):
+        assert gf(25) is gf(25)
+
+    @settings(max_examples=30)
+    @given(st.sampled_from([4, 8, 9, 16]), st.data())
+    def test_sub_consistent(self, q, data):
+        field = gf(q)
+        a = data.draw(st.integers(0, q - 1))
+        b = data.draw(st.integers(0, q - 1))
+        assert field.add(field.sub(a, b), b) == a
+
+    def test_char2_self_inverse_addition(self):
+        field = gf(64)
+        for a in range(0, 64, 7):
+            assert field.add(a, a) == 0
+
+    def test_div(self):
+        field = gf(13)
+        assert field.div(12, 4) == field.mul(12, field.inv(4))

@@ -1,0 +1,103 @@
+"""Tests for resolution search (parallel classes)."""
+
+import pytest
+
+from repro.designs.affine import affine_plane
+from repro.designs.blocks import BlockDesign
+from repro.designs.resolution import (
+    find_resolution,
+    is_resolution,
+    resolution_block_shape,
+    resolved_block_order,
+)
+from repro.designs.resolvable import one_factorization_design, partition_design
+from repro.designs.steiner_triple import steiner_triple_system
+
+
+class TestShape:
+    def test_affine_plane_shape(self):
+        design = affine_plane(3)
+        assert resolution_block_shape(design) == (4, 3)
+
+    def test_fano_has_no_shape(self):
+        fano = steiner_triple_system(7)
+        assert resolution_block_shape(fano) is None  # 3 does not divide 7
+
+    def test_sts9_shape(self):
+        design = steiner_triple_system(9)
+        assert resolution_block_shape(design) == (4, 3)
+
+
+class TestFindResolution:
+    def test_affine_plane_resolvable(self):
+        design = affine_plane(3)
+        classes = find_resolution(design)
+        assert classes is not None
+        assert len(classes) == 4
+        assert is_resolution(design, classes)
+
+    def test_affine_plane_4(self):
+        design = affine_plane(4)
+        classes = find_resolution(design)
+        assert classes is not None
+        assert len(classes) == 5
+        assert is_resolution(design, classes)
+
+    def test_sts9_resolvable(self):
+        # STS(9) = AG(2,3) lines: the unique Kirkman system of order 9.
+        design = steiner_triple_system(9)
+        classes = find_resolution(design)
+        assert classes is not None
+        assert is_resolution(design, classes)
+
+    def test_fano_not_resolvable(self):
+        assert find_resolution(steiner_triple_system(7)) is None
+
+    def test_pairs_resolution(self):
+        design = one_factorization_design(8)
+        classes = find_resolution(design)
+        assert classes is not None
+        assert len(classes) == 7
+        assert is_resolution(design, classes)
+
+    def test_partition_design_is_one_class(self):
+        design = partition_design(12, 4)
+        classes = find_resolution(design)
+        assert classes == [list(design.blocks)]
+
+    def test_non_resolvable_with_valid_shape(self):
+        # 4 blocks on 4 points, block size 2, but {0,1} appears twice and
+        # {2,3} never — classes require a partner for {0,1} both times.
+        design = BlockDesign.from_blocks(4, [(0, 1), (0, 1), (2, 3), (1, 2)])
+        assert resolution_block_shape(design) == (2, 2)
+        assert find_resolution(design) is None
+
+
+class TestResolvedOrder:
+    def test_order_balances_prefixes(self):
+        design = affine_plane(3)
+        order = resolved_block_order(design)
+        assert order is not None
+        assert sorted(order) == sorted(design.blocks)
+        # Every class-sized prefix covers each point exactly once per class.
+        for boundary in range(3, 13, 3):
+            points = [p for block in order[:boundary] for p in block]
+            assert len(set(points)) == 9
+            assert all(points.count(p) == boundary // 3 for p in set(points))
+
+    def test_order_none_for_fano(self):
+        assert resolved_block_order(steiner_triple_system(7)) is None
+
+
+class TestValidator:
+    def test_rejects_wrong_blocks(self):
+        design = affine_plane(3)
+        classes = find_resolution(design)
+        broken = [list(cls) for cls in classes]
+        broken[0][0] = (0, 1, 2) if broken[0][0] != (0, 1, 2) else (0, 1, 3)
+        assert not is_resolution(design, broken)
+
+    def test_rejects_non_partition_class(self):
+        design = BlockDesign.from_blocks(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        fake = [[(0, 1), (1, 2)], [(2, 3), (0, 3)]]
+        assert not is_resolution(design, fake)

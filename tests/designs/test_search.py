@@ -1,0 +1,52 @@
+"""Tests for DLX-based Steiner-system search."""
+
+import pytest
+
+from repro.designs.search import search_steiner_system
+
+
+class TestSearch:
+    def test_fano(self):
+        design = search_steiner_system(7, 3, 2)
+        assert design is not None
+        assert design.num_blocks == 7
+        assert design.is_design(2, 1)
+
+    def test_sqs_8(self):
+        design = search_steiner_system(8, 4, 3)
+        assert design is not None
+        assert design.num_blocks == 14
+        assert design.is_design(3, 1)
+
+    def test_sts_9(self):
+        design = search_steiner_system(9, 3, 2)
+        assert design is not None
+        assert design.is_design(2, 1)
+
+    def test_divisibility_shortcut(self):
+        assert search_steiner_system(8, 3, 2) is None  # 8 != 1,3 mod 6
+
+    def test_no_symmetry_breaking_still_works(self):
+        design = search_steiner_system(7, 3, 2, fix_first_block=False)
+        assert design is not None
+        assert design.is_design(2, 1)
+
+    def test_first_block_is_canonical(self):
+        design = search_steiner_system(9, 3, 2)
+        assert (0, 1, 2) in design.blocks
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            search_steiner_system(5, 6, 2)
+
+    @pytest.mark.slow
+    def test_sqs_10(self):
+        design = search_steiner_system(10, 4, 3)
+        assert design is not None
+        assert design.num_blocks == 30
+        assert design.is_design(3, 1)
+
+    def test_trivial_t_equals_r(self):
+        design = search_steiner_system(5, 2, 2)
+        assert design is not None
+        assert design.num_blocks == 10  # all pairs

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureCommand:
+    def test_fig4(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out
+        assert "DIFFERS" in out
+
+    def test_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "Fig 3" in capsys.readouterr().out
+
+    def test_fig11(self, capsys):
+        assert main(["figure", "fig11"]) == 0
+        assert "Fig 11" in capsys.readouterr().out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestPlaceCommand:
+    def test_random_to_stdout(self, capsys):
+        assert main([
+            "place", "--strategy", "random",
+            "--n", "13", "--r", "3", "--b", "20", "--seed", "5",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 13
+        assert len(payload["replica_sets"]) == 20
+
+    def test_simple_with_lambda_note(self, capsys):
+        assert main([
+            "place", "--strategy", "simple",
+            "--n", "13", "--r", "3", "--b", "30", "--x", "1",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "lambda=2" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["strategy"].startswith("Simple")
+
+    def test_combo_to_file(self, tmp_path, capsys):
+        target = tmp_path / "placement.json"
+        assert main([
+            "place", "--n", "13", "--r", "3", "--b", "26",
+            "--s", "2", "--k", "3", "--output", str(target),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "lower_bound" in captured.err
+        payload = json.loads(target.read_text())
+        assert len(payload["replica_sets"]) == 26
+
+
+class TestAttackCommand:
+    def test_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "placement.json"
+        main([
+            "place", "--strategy", "random",
+            "--n", "12", "--r", "3", "--b", "24",
+            "--seed", "1", "--output", str(target),
+        ])
+        capsys.readouterr()
+        assert main([
+            "attack", str(target), "--k", "3", "--s", "2",
+            "--effort", "exact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "certified optimal: yes" in out
+        assert "objects killed:" in out
+
+
+class TestAuditCommand:
+    def test_audit_placement_file(self, tmp_path, capsys):
+        target = tmp_path / "placement.json"
+        main([
+            "place", "--strategy", "random",
+            "--n", "12", "--r", "3", "--b", "24",
+            "--seed", "2", "--output", str(target),
+        ])
+        capsys.readouterr()
+        assert main([
+            "audit", str(target), "--k", "3", "--k", "4", "--s", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "placement audit" in out
+        assert "k=3, s=2" in out
+        assert "k=4, s=2" in out
+
+
+class TestBoundsCommand:
+    def test_fig9_cell(self, capsys):
+        assert main([
+            "bounds", "--n", "71", "--r", "3", "--s", "2",
+            "--b", "2400", "--k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lbAvail_co" in out
+        assert "prAvail_rnd" in out
+        assert "winner: combo" in out
+
+
+class TestCatalogCommand:
+    def test_single_order(self, capsys):
+        assert main(["catalog", "--r", "4", "--t", "3", "--v", "26"]) == 0
+        assert "KNOWN" in capsys.readouterr().out
+
+    def test_order_list(self, capsys):
+        assert main([
+            "catalog", "--r", "3", "--t", "2", "--max-v", "30",
+            "--tier", "constructible",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 7 9 13 15 19 21 25 27" in out
+        assert "largest: 27" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,94 @@
+"""Tests for ASCII line/CDF plotting."""
+
+import pytest
+
+from repro.util.asciiplot import Series, cdf_plot, line_plot
+
+
+class TestSeries:
+    def test_from_pairs(self):
+        series = Series.from_pairs("a", [(1, 2), (3, 4)])
+        assert series.points == ((1.0, 2.0), (3.0, 4.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series.from_pairs("a", [])
+
+
+class TestLinePlot:
+    def test_contains_glyphs_and_legend(self):
+        text = line_plot(
+            [
+                Series.from_pairs("up", [(0, 0), (10, 10)]),
+                Series.from_pairs("down", [(0, 10), (10, 0)]),
+            ],
+            width=20,
+            height=8,
+            title="cross",
+            x_label="k",
+        )
+        assert "cross" in text
+        assert "*" in text and "+" in text
+        assert "legend: *=up   +=down" in text
+        assert text.splitlines()[-2].endswith("k")
+
+    def test_monotone_series_orientation(self):
+        # The increasing series' glyph must appear in the top row at the
+        # right edge and bottom row at the left edge.
+        text = line_plot(
+            [Series.from_pairs("up", [(0, 0), (1, 1)])], width=10, height=5
+        )
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "*" in rows[0].split("|")[1][-2:] or "*" in rows[0]
+        assert "*" in rows[-1].split("|")[1][:2]
+
+    def test_axis_bounds_labels(self):
+        text = line_plot(
+            [Series.from_pairs("s", [(2, 5), (8, 15)])], width=12, height=5
+        )
+        assert "15" in text
+        assert "5" in text
+        assert "2" in text and "8" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot([Series.from_pairs("flat", [(0, 3), (5, 3)])])
+        assert "flat" in text
+
+    def test_explicit_y_bounds(self):
+        text = line_plot(
+            [Series.from_pairs("s", [(0, 0.4), (1, 0.6)])],
+            y_min=0.0,
+            y_max=1.0,
+        )
+        assert "1" in text.splitlines()[0]
+
+    def test_validation(self):
+        series = [Series.from_pairs("s", [(0, 0)])]
+        with pytest.raises(ValueError):
+            line_plot([])
+        with pytest.raises(ValueError):
+            line_plot(series, width=4)
+        with pytest.raises(ValueError):
+            line_plot([Series.from_pairs(str(i), [(0, i)]) for i in range(9)])
+
+    def test_interpolation_dots(self):
+        text = line_plot(
+            [Series.from_pairs("s", [(0, 0), (10, 10)])], width=30, height=10
+        )
+        assert "." in text  # Bresenham fill between sparse points
+
+
+class TestCdfPlot:
+    def test_basic(self):
+        text = cdf_plot(
+            [("gaps", [0.0, 0.0, 0.1, 0.5, 1.0])],
+            width=20,
+            height=6,
+            title="cdf",
+        )
+        assert "cdf" in text
+        assert "legend" in text
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot([("empty", [])])

@@ -1,0 +1,131 @@
+"""Unit and property tests for repro.util.combinatorics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.combinatorics import (
+    binom,
+    ceil_div,
+    falling_factorial,
+    is_prime,
+    k_subsets,
+    lcm_many,
+    pairs_within,
+    prime_power_decomposition,
+    rank_subset,
+    unrank_subset,
+)
+
+
+class TestBinom:
+    def test_matches_math_comb_in_range(self):
+        for n in range(12):
+            for k in range(n + 1):
+                assert binom(n, k) == math.comb(n, k)
+
+    def test_zero_outside_range(self):
+        assert binom(5, 7) == 0
+        assert binom(-1, 0) == 0
+        assert binom(3, -2) == 0
+
+    def test_paper_values(self):
+        # Capacities used throughout the paper's evaluation.
+        assert binom(69, 2) // binom(3, 2) == 782  # STS(69) blocks
+        assert binom(65, 3) // binom(5, 3) == 4368  # S(3,5,65) blocks
+        assert binom(257, 2) == 32896
+
+    @given(st.integers(0, 60), st.integers(0, 60))
+    def test_symmetry(self, n, k):
+        assert binom(n, k) == binom(n, n - k) if k <= n else binom(n, k) == 0
+
+    @given(st.integers(1, 50), st.integers(0, 50))
+    def test_pascal_rule(self, n, k):
+        assert binom(n, k) == binom(n - 1, k - 1) + binom(n - 1, k)
+
+
+class TestFallingFactorial:
+    def test_basic(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 5) == 120
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            falling_factorial(3, -1)
+
+    @given(st.integers(0, 30), st.integers(0, 10))
+    def test_relates_to_binom(self, n, k):
+        if k <= n:
+            assert falling_factorial(n, k) == binom(n, k) * math.factorial(k)
+
+
+class TestCeilDiv:
+    @given(st.integers(-1000, 1000), st.integers(1, 100))
+    def test_matches_ceiling(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+        with pytest.raises(ValueError):
+            ceil_div(3, -2)
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm_many([2, 3, 4]) == 12
+        assert lcm_many([7]) == 7
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            lcm_many([])
+        with pytest.raises(ValueError):
+            lcm_many([2, 0])
+
+
+class TestSubsets:
+    def test_k_subsets_count(self):
+        items = list(range(6))
+        assert sum(1 for _ in k_subsets(items, 3)) == 20
+
+    def test_pairs_within(self):
+        assert list(pairs_within([3, 1, 2])) == [(1, 2), (1, 3), (2, 3)]
+
+    @given(st.integers(1, 12), st.data())
+    def test_rank_unrank_roundtrip(self, n, data):
+        k = data.draw(st.integers(1, n))
+        rank = data.draw(st.integers(0, binom(n, k) - 1))
+        subset = unrank_subset(rank, n, k)
+        assert len(subset) == k
+        assert all(0 <= e < n for e in subset)
+        assert rank_subset(subset, n) == rank
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(ValueError):
+            unrank_subset(binom(5, 2), 5, 2)
+
+    def test_colex_order_is_exhaustive(self):
+        seen = {unrank_subset(i, 5, 3) for i in range(binom(5, 3))}
+        assert len(seen) == 10
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [p for p in range(60) if is_prime(p)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+
+    def test_prime_power_decomposition(self):
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(9) == (3, 2)
+        assert prime_power_decomposition(64) == (2, 6)
+        assert prime_power_decomposition(12) is None
+        assert prime_power_decomposition(1) is None
+        assert prime_power_decomposition(13) == (13, 1)
+
+    @given(st.integers(2, 7), st.integers(1, 6))
+    def test_decomposition_roundtrip(self, p, m):
+        if is_prime(p):
+            assert prime_power_decomposition(p**m) == (p, m)

@@ -1,0 +1,145 @@
+"""Unit and property tests for repro.util.intmath."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    Rational,
+    floor_ratio,
+    log_binom,
+    log_binom_head,
+    log_binom_tail,
+    logsumexp,
+)
+
+nonzero = st.integers(-50, 50).filter(lambda x: x != 0)
+
+
+class TestRational:
+    @given(st.integers(-50, 50), nonzero, st.integers(-50, 50), nonzero)
+    def test_arithmetic_matches_fraction(self, a, b, c, d):
+        left = Rational(a, b)
+        right = Rational(c, d)
+        fl, fr = Fraction(a, b), Fraction(c, d)
+        assert Fraction((left + right).numerator, (left + right).denominator) == fl + fr
+        assert Fraction((left - right).numerator, (left - right).denominator) == fl - fr
+        assert Fraction((left * right).numerator, (left * right).denominator) == fl * fr
+        if c != 0:
+            quotient = left / right
+            assert Fraction(quotient.numerator, quotient.denominator) == fl / fr
+
+    @given(st.integers(-100, 100), nonzero)
+    def test_floor_ceil(self, a, b):
+        value = Rational(a, b)
+        assert value.floor() == math.floor(Fraction(a, b))
+        assert value.ceil() == math.ceil(Fraction(a, b))
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Rational(1, 0)
+
+    def test_normalization(self):
+        assert Rational(2, 4) == Rational(1, 2)
+        assert Rational(-1, -2) == Rational(1, 2)
+        assert Rational(1, -2) == Rational(-1, 2)
+
+    @given(st.integers(-50, 50), nonzero, st.integers(-50, 50), nonzero)
+    def test_ordering(self, a, b, c, d):
+        assert (Rational(a, b) < Rational(c, d)) == (Fraction(a, b) < Fraction(c, d))
+        assert (Rational(a, b) <= Rational(c, d)) == (Fraction(a, b) <= Fraction(c, d))
+
+    def test_is_integral(self):
+        assert Rational(4, 2).is_integral()
+        assert not Rational(3, 2).is_integral()
+
+    def test_int_coercion_in_ops(self):
+        assert Rational(1, 2) + 1 == Rational(3, 2)
+        assert Rational(3, 2) > 1
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Rational(1, 2) + 0.5  # floats would silently lose exactness
+
+
+class TestFloorRatio:
+    @given(st.integers(-10**9, 10**9), st.integers(1, 10**6))
+    def test_matches_floor(self, a, b):
+        assert floor_ratio(a, b) == a // b
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_ratio(1, 0)
+
+
+class TestLogBinom:
+    @given(st.integers(0, 300), st.integers(0, 300))
+    def test_matches_exact(self, n, k):
+        if k <= n:
+            assert log_binom(n, k) == pytest.approx(
+                math.log(math.comb(n, k)), rel=1e-10
+            )
+        else:
+            assert log_binom(n, k) == float("-inf")
+
+
+class TestLogSumExp:
+    def test_empty_is_neg_inf(self):
+        assert logsumexp([]) == float("-inf")
+        assert logsumexp([float("-inf")]) == float("-inf")
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=8))
+    def test_matches_direct(self, values):
+        expected = math.log(sum(math.exp(v) for v in values))
+        assert logsumexp(values) == pytest.approx(expected, rel=1e-9)
+
+
+class TestBinomTail:
+    def exact_tail(self, n, p, f):
+        return sum(
+            math.comb(n, k) * p**k * (1 - p) ** (n - k) for k in range(f, n + 1)
+        )
+
+    @given(
+        st.integers(1, 80),
+        st.floats(0.01, 0.99),
+        st.data(),
+    )
+    def test_matches_exact_small(self, n, p, data):
+        f = data.draw(st.integers(0, n))
+        expected = self.exact_tail(n, p, f)
+        got = log_binom_tail(n, p, f)
+        if expected == 0.0:
+            assert got == float("-inf")
+        else:
+            assert got == pytest.approx(math.log(expected), abs=1e-8)
+
+    def test_boundaries(self):
+        assert log_binom_tail(10, 0.5, 0) == 0.0
+        assert log_binom_tail(10, 0.5, 11) == float("-inf")
+        assert log_binom_tail(10, 0.0, 1) == float("-inf")
+        assert log_binom_tail(10, 1.0, 10) == 0.0
+
+    def test_deep_tail_far_beyond_floats(self):
+        # P(Bin(38400, 1e-4) >= 60) underflows naive products but must still
+        # be finite and ordered in log space.
+        a = log_binom_tail(38400, 1e-4, 60)
+        b = log_binom_tail(38400, 1e-4, 80)
+        assert a > b > float("-inf")
+
+    def test_scipy_agreement(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for n, p, f in [(1000, 0.01, 30), (38400, 0.002, 120), (600, 0.2, 150)]:
+            expected = scipy_stats.binom.logsf(f - 1, n, p)
+            assert log_binom_tail(n, p, f) == pytest.approx(expected, abs=1e-6)
+
+    @given(st.integers(1, 200), st.floats(0.001, 0.999), st.data())
+    def test_head_tail_partition(self, n, p, data):
+        f = data.draw(st.integers(1, n))
+        tail = log_binom_tail(n, p, f)
+        head = log_binom_head(n, p, f - 1)
+        total = logsumexp([tail, head])
+        assert total == pytest.approx(0.0, abs=1e-7)

@@ -1,0 +1,40 @@
+"""Tests for deterministic RNG derivation."""
+
+import pytest
+
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        assert derive_rng(1, "a").random() == derive_rng(1, "a").random()
+
+    def test_label_separation(self):
+        assert derive_rng(1, "a").random() != derive_rng(1, "b").random()
+
+    def test_seed_separation(self):
+        assert derive_rng(1, "a").random() != derive_rng(2, "a").random()
+
+    def test_label_types_mix(self):
+        # Numbers and strings namespace independently: "1" vs 1.
+        assert derive_rng(0, "1").random() != derive_rng(0, 1).random()
+
+    def test_nested_labels(self):
+        assert derive_rng(5, "fig7", 31, 5).random() != derive_rng(
+            5, "fig7", 31, 6
+        ).random()
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds = spawn_seeds(7, 5, "workers")
+        assert len(seeds) == 5
+        assert seeds == spawn_seeds(7, 5, "workers")
+        assert len(set(seeds)) == 5
+
+    def test_zero_count(self):
+        assert spawn_seeds(7, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(7, -1)
