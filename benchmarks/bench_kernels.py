@@ -1,0 +1,226 @@
+"""Perf record for the damage-kernel ladder (BENCH_kernels.json).
+
+Times the three pluggable kernels (bitset / numpy / python) against the
+seed's allocation-heavy ``_DamageModel`` numpy path (reproduced below as
+:class:`SeedDamageModel`) at paper scales, and asserts the headline of the
+kernel refactor: on a LocalSearchAdversary sweep at n=71, b=9600 the
+bitset or buffered-numpy kernel beats the seed path by >= 2x while every
+backend returns identical damage values.
+
+Run explicitly (bench files are not part of the tier-1 suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
+
+The JSON record lands in ``benchmarks/output/BENCH_kernels.json`` so later
+PRs can extend the perf trajectory.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+import numpy as np
+from conftest import OUTPUT_DIR, emit
+
+from repro.core.adversary import (
+    BranchAndBoundAdversary,
+    ExhaustiveAdversary,
+    GreedyAdversary,
+    LocalSearchAdversary,
+)
+from repro.core.kernels import make_kernel
+from repro.core.random_placement import RandomStrategy
+from repro.util.tables import TextTable
+
+JSON_PATH = OUTPUT_DIR / "BENCH_kernels.json"
+
+#: Paper-scale grid: cluster sizes x object counts (b capped at 9600).
+SCALES = [(31, 600), (31, 9600), (71, 600), (71, 9600), (257, 600), (257, 9600)]
+KERNEL_NAMES = ("bitset", "numpy", "python")
+
+
+class SeedDamageModel:
+    """The seed repo's ``_DamageModel`` numpy path, frozen as the baseline.
+
+    Allocates a fresh hit vector per move (``hits + matrix[:, node]``) and
+    a fresh (b, n) totals matrix per ``best_addition`` — exactly what the
+    kernel refactor removed. Satisfies the kernel contract, so the same
+    adversaries run unmodified on top of it.
+    """
+
+    name = "seed-numpy"
+
+    def __init__(self, placement, s):
+        self.placement = placement
+        self.s = s
+        self.n = placement.n
+        self.b = placement.b
+        matrix = np.zeros((self.b, self.n), dtype=np.int16)
+        for obj_id, nodes in enumerate(placement.replica_sets):
+            for node in nodes:
+                matrix[obj_id, node] = 1
+        self.matrix = matrix
+
+    def empty_hits(self):
+        return np.zeros(self.b, dtype=np.int16)
+
+    def add_node(self, hits, node):
+        return hits + self.matrix[:, node]
+
+    def remove_node(self, hits, node):
+        return hits - self.matrix[:, node]
+
+    def hits_for(self, nodes):
+        hits = self.empty_hits()
+        for node in nodes:
+            hits = self.add_node(hits, node)
+        return hits
+
+    def damage_of(self, hits):
+        return int((hits >= self.s).sum())
+
+    def damage_for(self, nodes):
+        return self.damage_of(self.hits_for(nodes))
+
+    def best_addition(self, hits, banned):
+        totals = hits[:, None] + self.matrix
+        damages = (totals >= self.s).sum(axis=0)
+        if banned:
+            damages[list(banned)] = -1
+        node = int(damages.argmax())
+        return node, int(damages[node])
+
+
+def _engines_for(placement, s):
+    engines = {name: make_kernel(placement, s, backend=name)
+               for name in KERNEL_NAMES}
+    engines["seed-numpy"] = SeedDamageModel(placement, s)
+    return engines
+
+
+def _time_best_addition(model, reps=5):
+    """Seconds per best_addition call from a 2-node partial attack."""
+    hits = model.hits_for([0, 1])
+    model.best_addition(hits, banned=[0, 1])  # warm lazy structures
+    start = time.perf_counter()
+    for _ in range(reps):
+        model.best_addition(hits, banned=[0, 1])
+    return (time.perf_counter() - start) / reps
+
+
+def _time_sweep(placement, s, model, k_values):
+    """Seconds for a LocalSearchAdversary sweep; returns (time, damages)."""
+    adversary = LocalSearchAdversary(restarts=2, seed=0)
+    start = time.perf_counter()
+    damages = tuple(
+        adversary.attack(placement, k, s, kernel=model).damage for k in k_values
+    )
+    return time.perf_counter() - start, damages
+
+
+def _collect():
+    records = []
+    for n, b in SCALES:
+        placement = RandomStrategy(n, 3).place(b, random.Random(0))
+        for name, model in _engines_for(placement, 2).items():
+            seconds = _time_best_addition(model)
+            records.append(
+                {
+                    "n": n,
+                    "b": b,
+                    "r": 3,
+                    "s": 2,
+                    "backend": name,
+                    "best_addition_ops_per_sec": round(1.0 / seconds, 1),
+                }
+            )
+
+    # Headline: full local-search sweep at n=71, b=9600.
+    n, b, s, k_values = 71, 9600, 2, (3, 4, 5)
+    placement = RandomStrategy(n, 3).place(b, random.Random(1))
+    sweep = {}
+    damages = {}
+    for name, model in _engines_for(placement, s).items():
+        seconds, found = _time_sweep(placement, s, model, k_values)
+        sweep[name] = seconds
+        damages[name] = found
+    speedups = {
+        name: round(sweep["seed-numpy"] / sweep[name], 2)
+        for name in KERNEL_NAMES
+    }
+    return records, sweep, damages, speedups, k_values
+
+
+def test_kernel_ladder(benchmark):
+    records, sweep, damages, speedups, k_values = benchmark.pedantic(
+        _collect, rounds=1, iterations=1
+    )
+
+    table = TextTable(
+        ["n", "b", "backend", "best_addition/s"],
+        title="Damage-kernel ladder: ops/sec by scale",
+    )
+    for record in records:
+        table.add_row(
+            [record["n"], record["b"], record["backend"],
+             record["best_addition_ops_per_sec"]]
+        )
+    sweep_table = TextTable(
+        ["backend", "sweep sec", "speedup vs seed", "damages"],
+        title=f"LocalSearch sweep n=71 b=9600 s=2 k={list(k_values)}",
+    )
+    for name, seconds in sorted(sweep.items(), key=lambda item: item[1]):
+        sweep_table.add_row(
+            [name, round(seconds, 3), speedups.get(name, 1.0),
+             str(list(damages[name]))]
+        )
+    emit("bench_kernels", table.render() + "\n\n" + sweep_table.render())
+
+    payload = {
+        "schema": "bench_kernels/v1",
+        "scales": records,
+        "sweep": {
+            "n": 71, "b": 9600, "s": 2, "k_values": list(k_values),
+            "seconds": {name: round(v, 4) for name, v in sweep.items()},
+            "speedup_vs_seed": speedups,
+            "damages": {name: list(v) for name, v in damages.items()},
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Acceptance: a refactored kernel beats the seed numpy path >= 2x...
+    assert max(speedups["bitset"], speedups["numpy"]) >= 2.0, speedups
+    # ...and every backend agrees exactly with the seed model's damage.
+    reference = damages["seed-numpy"]
+    for name in KERNEL_NAMES:
+        assert damages[name] == reference, damages
+
+
+def test_all_adversaries_agree_across_backends():
+    """Greedy/local/exhaustive/B&B damages are backend-independent."""
+    placement = RandomStrategy(14, 3).place(60, random.Random(2))
+    engines = _engines_for(placement, 2)
+    adversaries = {
+        "greedy": lambda kernel: GreedyAdversary().attack(
+            placement, 3, 2, kernel=kernel
+        ),
+        "local": lambda kernel: LocalSearchAdversary(restarts=2).attack(
+            placement, 3, 2, kernel=kernel
+        ),
+        "exhaustive": lambda kernel: ExhaustiveAdversary().attack(
+            placement, 3, 2, kernel=kernel
+        ),
+    }
+    bnb_kernels = {
+        name: model for name, model in engines.items() if name != "seed-numpy"
+    }
+    for label, run in adversaries.items():
+        found = {name: run(model).damage for name, model in engines.items()}
+        assert len(set(found.values())) == 1, (label, found)
+    found = {
+        name: BranchAndBoundAdversary().attack(placement, 3, 2, kernel=model).damage
+        for name, model in bnb_kernels.items()
+    }
+    assert len(set(found.values())) == 1, ("bnb", found)

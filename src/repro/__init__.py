@@ -24,13 +24,16 @@ paper-to-module map.
 
 from repro.core import (
     AdaptiveComboPlacement,
+    AttackCell,
     AttackResult,
     AvailabilityReport,
     BranchAndBoundAdversary,
     ComboPlan,
     ComboStrategy,
+    DamageKernel,
     ExhaustiveAdversary,
     GreedyAdversary,
+    Incidence,
     LocalSearchAdversary,
     Placement,
     PlacementError,
@@ -39,11 +42,16 @@ from repro.core import (
     Subsystem,
     SystemParams,
     UnconstrainedRandomStrategy,
+    attack_grid,
     audit_placement,
+    batch_attack,
     best_attack,
     capacity_gap,
     certified_availability,
     evaluate_availability,
+    evaluate_availability_grid,
+    force_backend,
+    make_kernel,
     lb_avail_combo,
     lb_avail_simple,
     lemma4_upper_bound,
@@ -61,13 +69,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveComboPlacement",
+    "AttackCell",
     "AttackResult",
     "AvailabilityReport",
     "BranchAndBoundAdversary",
     "ComboPlan",
     "ComboStrategy",
+    "DamageKernel",
     "ExhaustiveAdversary",
     "GreedyAdversary",
+    "Incidence",
     "LocalSearchAdversary",
     "Placement",
     "PlacementError",
@@ -77,11 +88,16 @@ __all__ = [
     "SystemParams",
     "UnconstrainedRandomStrategy",
     "__version__",
+    "attack_grid",
     "audit_placement",
+    "batch_attack",
     "best_attack",
     "capacity_gap",
     "certified_availability",
     "evaluate_availability",
+    "evaluate_availability_grid",
+    "force_backend",
+    "make_kernel",
     "lb_avail_combo",
     "lb_avail_simple",
     "lemma4_upper_bound",

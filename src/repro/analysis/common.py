@@ -3,12 +3,19 @@
 Every figure generator reads its effort/repetition knobs from here so that
 ``pytest benchmarks/`` runs in minutes by default while
 ``REPRO_EFFORT=exact REPRO_REPS=20`` reproduces the paper's full procedure.
+
+Attack-engine knobs: ``REPRO_KERNEL`` picks the damage-kernel backend
+(auto/bitset/numpy/python) and ``REPRO_WORKERS`` the process fan-out of
+batched attack grids; both resolve here so figures stay declarative.
 """
 
 from __future__ import annotations
 
 import os
 from typing import List
+
+from repro.core.batch import worker_count as _worker_count
+from repro.core.kernels import resolve_backend as _resolve_backend
 
 #: The paper's object-count ladder (Figs. 9-10 start at 600; Fig. 7 at 150).
 PAPER_B_LADDER: List[int] = [600, 1200, 2400, 4800, 9600, 19200, 38400]
@@ -40,6 +47,20 @@ def object_scale_cap(default: int = 9600) -> int:
     if value < 1:
         raise ValueError(f"REPRO_B_MAX must be >= 1, got {value}")
     return value
+
+
+def kernel_backend() -> str:
+    """Damage-kernel backend for attack evaluation (``REPRO_KERNEL``).
+
+    Resolves auto/forcing/env to a concrete backend name so figure runs
+    record which kernel produced them.
+    """
+    return _resolve_backend(None)
+
+
+def attack_workers(default: int = 1) -> int:
+    """Worker processes for batched attack grids (``REPRO_WORKERS``)."""
+    return _worker_count(default)
 
 
 def percent(numerator: float, denominator: float) -> float:

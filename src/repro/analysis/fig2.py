@@ -15,8 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.analysis.common import adversary_effort, object_scale_cap
-from repro.core.availability import evaluate_availability
+from repro.analysis.common import (
+    adversary_effort,
+    attack_workers,
+    kernel_backend,
+    object_scale_cap,
+)
+from repro.core.availability import evaluate_availability_grid
+from repro.core.batch import AttackCell
 from repro.core.simple import SimpleStrategy
 from repro.util.tables import TextTable
 
@@ -90,20 +96,33 @@ def generate(
         if b > cap:
             continue
         placement = strategy.place(b)
-        for s in s_values:
-            if x >= s:
-                continue
-            for k in range(s, k_max + 1):
-                report = evaluate_availability(placement, k, s, effort=effort)
-                lower = strategy.lower_bound(b, k, s)
-                cells.append(
-                    Fig2Cell(
-                        b=b,
-                        s=s,
-                        k=k,
-                        avail=report.available,
-                        lower_bound=lower,
-                        exact=report.exact,
-                    )
+        # The whole (s, k) grid for this placement goes through the batch
+        # engine in one pass: the incidence structure is built once and a
+        # k-attack seeds the (k+1)-search within each threshold group.
+        grid = [
+            AttackCell(k, s, effort)
+            for s in s_values
+            if x < s
+            for k in range(s, k_max + 1)
+        ]
+        if not grid:
+            continue
+        reports = evaluate_availability_grid(
+            placement,
+            grid,
+            backend=kernel_backend(),
+            workers=attack_workers(),
+            seed=b,
+        )
+        for cell, report in zip(grid, reports):
+            cells.append(
+                Fig2Cell(
+                    b=b,
+                    s=cell.s,
+                    k=cell.k,
+                    avail=report.available,
+                    lower_bound=strategy.lower_bound(b, cell.k, cell.s),
+                    exact=report.exact,
                 )
+            )
     return Fig2Result(n=n, r=r, x=x, cells=tuple(cells))

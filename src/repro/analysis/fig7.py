@@ -20,13 +20,15 @@ from typing import List, Tuple
 from repro.analysis.common import (
     FIG7_B_LADDER,
     adversary_effort,
+    attack_workers,
+    kernel_backend,
     monte_carlo_reps,
     object_scale_cap,
 )
-from repro.core.adversary import best_attack
+from repro.core.batch import AttackCell, batch_attack
 from repro.core.rand_analysis import pr_avail_rnd
 from repro.core.random_placement import RandomStrategy
-from repro.util.rng import derive_rng
+from repro.util.rng import derive_rng, spawn_seeds
 from repro.util.tables import TextTable
 
 
@@ -99,17 +101,24 @@ def generate(
                 strategy.place(b, derive_rng(seed, "fig7", n, r, b, rep))
                 for rep in range(reps)
             ]
+            # One batched pass per Monte-Carlo sample: the k-ladder of each
+            # placement shares its incidence structure and chains incumbents
+            # through the batch engine.
+            avails_by_k: dict = {k: [] for k in k_values}
+            grid = [AttackCell(k, s, effort) for k in k_values]
+            for rep, placement in enumerate(placements):
+                [cell_seed] = spawn_seeds(seed, 1, "fig7-attack", n, r, b, rep)
+                attacks = batch_attack(
+                    placement,
+                    grid,
+                    backend=kernel_backend(),
+                    workers=attack_workers(),
+                    seed=cell_seed,
+                )
+                for cell, attack in zip(grid, attacks):
+                    avails_by_k[cell.k].append(b - attack.damage)
             for k in k_values:
-                avails = []
-                for rep, placement in enumerate(placements):
-                    attack = best_attack(
-                        placement,
-                        k,
-                        s,
-                        effort=effort,
-                        rng=derive_rng(seed, "fig7-attack", n, r, b, k, rep),
-                    )
-                    avails.append(b - attack.damage)
+                avails = avails_by_k[k]
                 cells.append(
                     Fig7Cell(
                         n=n,

@@ -20,7 +20,6 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
-from repro.core.adversary import best_attack
 from repro.core.combo import ComboStrategy
 from repro.core.placement import Placement
 from repro.core.rand_analysis import pr_avail_rnd
@@ -62,10 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = commands.add_parser("attack", help="worst-case attack a placement")
     attack.add_argument("placement", type=str, help="placement JSON file")
-    attack.add_argument("--k", type=int, required=True, help="nodes to fail")
+    attack.add_argument("--k", type=int, action="append", required=True,
+                        help="nodes to fail (repeatable: batches a k-grid "
+                        "through one shared incidence structure)")
     attack.add_argument("--s", type=int, required=True, help="fatality threshold")
     attack.add_argument("--effort", choices=("fast", "auto", "exact"),
                         default="auto")
+    attack.add_argument("--kernel", choices=("auto", "bitset", "numpy", "python"),
+                        default=None,
+                        help="damage-kernel backend (default: $REPRO_KERNEL/auto)")
+    attack.add_argument("--workers", type=int, default=None,
+                        help="worker processes for batched attacks "
+                        "(default: $REPRO_WORKERS/1)")
 
     bounds = commands.add_parser(
         "bounds", help="Combo guarantee vs Random prediction for one cell"
@@ -192,14 +199,24 @@ def _run_place(args) -> int:
 
 
 def _run_attack(args) -> int:
+    from repro.core.batch import AttackCell, batch_attack
+
     with open(args.placement, encoding="utf-8") as handle:
         placement = Placement.from_dict(json.load(handle))
-    result = best_attack(placement, args.k, args.s, effort=args.effort)
+    cells = [AttackCell(k, args.s, args.effort) for k in args.k]
+    results = batch_attack(
+        placement, cells, backend=args.kernel, workers=args.workers
+    )
     print(f"placement: {placement}")
-    print(f"attack nodes: {sorted(result.nodes)}")
-    print(f"objects killed: {result.damage} / {placement.b}")
-    print(f"availability: {placement.b - result.damage}")
-    print(f"certified optimal: {'yes' if result.exact else 'no (lower bound)'}")
+    for cell, result in zip(cells, results):
+        if len(cells) > 1:
+            print(f"--- k={cell.k} ---")
+        print(f"attack nodes: {sorted(result.nodes)}")
+        print(f"objects killed: {result.damage} / {placement.b}")
+        print(f"availability: {placement.b - result.damage}")
+        print(
+            f"certified optimal: {'yes' if result.exact else 'no (lower bound)'}"
+        )
     return 0
 
 

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.failures import RandomInjector, WorstCaseInjector
+from repro.cluster.failures import RandomInjector, WorstCaseInjector, fail_specific
 from repro.cluster.metrics import LoadStats, ScenarioReport
 from repro.cluster.objects import LivenessRule
+from repro.core.batch import AttackCell, batch_attack
 from repro.core.placement import Placement
 
 
@@ -35,6 +36,48 @@ def run_attack_scenario(
         objects_lost=lost,
         load=LoadStats.from_loads(cluster.loads()),
     )
+
+
+def run_attack_grid(
+    placement: Placement,
+    k_values: Sequence[int],
+    rule: LivenessRule,
+    effort: str = "auto",
+    racks: int = 1,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    seed: int = 0,
+) -> List[ScenarioReport]:
+    """Deploy once, then worst-case attack every ``k`` in one batched pass.
+
+    The whole grid shares one incidence structure and chains incumbents
+    (the k-attack seeds the k+1 search) via the batch engine — the failed
+    nodes are then replayed on the cluster (recovering between cells) so
+    each report reflects real cluster state, not just search output.
+    """
+    cluster = Cluster(placement.n, racks=racks)
+    cluster.apply_placement(placement)
+    cells = [AttackCell(k, rule.s, effort) for k in k_values]
+    attacks = batch_attack(
+        placement, cells, backend=backend, workers=workers, seed=seed
+    )
+    reports = []
+    for cell, attack in zip(cells, attacks):
+        failed = fail_specific(cluster, attack.nodes)
+        lost = len(cluster.dead_objects(rule))
+        reports.append(
+            ScenarioReport(
+                strategy=placement.strategy or "unknown",
+                b=placement.b,
+                k=cell.k,
+                s=rule.s,
+                failed_nodes=tuple(failed),
+                objects_lost=lost,
+                load=LoadStats.from_loads(cluster.loads()),
+            )
+        )
+        cluster.recover_all()
+    return reports
 
 
 def run_random_failure_scenario(

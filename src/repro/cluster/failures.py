@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.objects import LivenessRule
-from repro.core.adversary import best_attack
+from repro.core.batch import AttackCell, batch_attack
 
 
 class RandomInjector:
@@ -63,15 +63,33 @@ class CorrelatedInjector:
 
 
 class WorstCaseInjector:
-    """The paper's adversary: fail the k nodes that disable the most objects."""
+    """The paper's adversary: fail the k nodes that disable the most objects.
 
-    def __init__(self, effort: str = "auto", rng: Optional[random.Random] = None) -> None:
+    Search runs through the batched attack engine; the damage kernel
+    follows the ``REPRO_KERNEL`` knob unless ``backend`` overrides it.
+    (Each injection is a single attack cell, so worker fan-out does not
+    apply here — use :func:`repro.cluster.engine.run_attack_grid` to
+    evaluate whole k-grids in one batched, parallelizable pass.)
+    """
+
+    def __init__(
+        self,
+        effort: str = "auto",
+        rng: Optional[random.Random] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.effort = effort
         self.rng = rng
+        self.backend = backend
 
     def select(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
         placement = cluster.placement_snapshot()
-        attack = best_attack(placement, k, rule.s, effort=self.effort, rng=self.rng)
+        [attack] = batch_attack(
+            placement,
+            [AttackCell(k, rule.s, self.effort)],
+            backend=self.backend,
+            rng=self.rng,
+        )
         return sorted(attack.nodes)
 
     def inject(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:

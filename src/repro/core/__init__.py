@@ -20,8 +20,10 @@ from repro.core.adversary import (
 from repro.core.availability import (
     AvailabilityReport,
     evaluate_availability,
+    evaluate_availability_grid,
     survivors_under,
 )
+from repro.core.batch import AttackCell, attack_grid, batch_attack, worker_count
 from repro.core.bounds import (
     CompetitiveConstants,
     lb_avail_combo,
@@ -44,6 +46,16 @@ from repro.core.params import (
     majority_threshold,
     read_one_threshold,
     write_all_threshold,
+)
+from repro.core.kernels import (
+    BitsetKernel,
+    DamageKernel,
+    Incidence,
+    NumpyKernel,
+    PythonKernel,
+    force_backend,
+    make_kernel,
+    resolve_backend,
 )
 from repro.core.placement import Placement, PlacementError
 from repro.core.random_placement import RandomStrategy, UnconstrainedRandomStrategy
@@ -68,25 +80,33 @@ from repro.core.subsystems import (
 
 __all__ = [
     "AdaptiveComboPlacement",
+    "AttackCell",
     "AttackResult",
     "AvailabilityReport",
+    "BitsetKernel",
     "BranchAndBoundAdversary",
     "Chunk",
     "ComboPlan",
     "ComboStrategy",
     "CompetitiveConstants",
+    "DamageKernel",
     "ExhaustiveAdversary",
     "GreedyAdversary",
+    "Incidence",
     "LocalSearchAdversary",
+    "NumpyKernel",
     "PackingProfile",
     "Placement",
     "PlacementAudit",
     "PlacementError",
+    "PythonKernel",
     "RandomStrategy",
     "SimpleStrategy",
     "Subsystem",
     "SystemParams",
     "UnconstrainedRandomStrategy",
+    "attack_grid",
+    "batch_attack",
     "alpha",
     "audit_placement",
     "best_attack",
@@ -95,23 +115,28 @@ __all__ = [
     "certified_availability",
     "damage",
     "evaluate_availability",
+    "evaluate_availability_grid",
     "expected_random_multiplicity",
     "failure_probability",
+    "force_backend",
     "lb_avail_combo",
     "lb_avail_simple",
     "lemma4_upper_bound",
     "log_vulnerability",
     "majority_threshold",
+    "make_kernel",
     "max_vulnerable_objects",
     "minimal_lambda",
     "packing_profile",
     "pr_avail_fraction",
     "pr_avail_rnd",
     "read_one_threshold",
+    "resolve_backend",
     "select_combo_subsystems",
     "select_subsystem",
     "simple_capacity",
     "survivors_under",
     "theorem1_constants",
+    "worker_count",
     "write_all_threshold",
 ]

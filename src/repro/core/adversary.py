@@ -22,9 +22,12 @@ Heuristic engines under-estimate worst-case damage, therefore over-estimate
 availability — callers that need a guaranteed direction use the ``exact``
 flag on the result.
 
-Implementation detail: damage evaluation is vectorized over numpy when it
-is importable and falls back to pure Python otherwise; both paths are
-exercised in the test suite.
+Damage evaluation is delegated to the pluggable kernels of
+:mod:`repro.core.kernels` (bitset / numpy / pure-python, selected via
+``REPRO_KERNEL`` or ``force_backend``); every engine accepts a prebuilt
+``kernel`` so grids of attacks share one incidence structure (see
+:mod:`repro.core.batch`), and heuristic engines accept a ``warm_start``
+failure set so a k-attack can seed the k+1 search.
 """
 
 from __future__ import annotations
@@ -33,13 +36,9 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.kernels import DamageKernel, make_kernel
 from repro.core.placement import Placement
 from repro.util.combinatorics import binom
-
-try:  # optional accelerator
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised via _force_pure_python
-    _np = None
 
 
 @dataclass(frozen=True)
@@ -65,87 +64,17 @@ def damage(placement: Placement, failed_nodes: Iterable[int], s: int) -> int:
     return count
 
 
-class _DamageModel:
-    """Shared incremental damage machinery over a placement.
-
-    Keeps the object-by-node incidence (numpy ``int16`` matrix or per-node
-    object lists) so engines can evaluate candidate swaps in O(b) or better.
-    """
-
-    def __init__(self, placement: Placement, s: int) -> None:
-        if not 1 <= s <= placement.r:
-            raise ValueError(f"need 1 <= s <= r={placement.r}, got s={s}")
-        self.placement = placement
-        self.s = s
-        self.n = placement.n
-        self.b = placement.b
-        self.use_numpy = _np is not None and not _FORCE_PURE_PYTHON[0]
-        if self.use_numpy:
-            matrix = _np.zeros((self.b, self.n), dtype=_np.int16)
-            for obj_id, nodes in enumerate(placement.replica_sets):
-                for node in nodes:
-                    matrix[obj_id, node] = 1
-            self.matrix = matrix
-        else:
-            self.node_objects: List[List[int]] = placement.node_to_objects()
-
-    # -- hit-vector operations -------------------------------------------
-
-    def empty_hits(self):
-        if self.use_numpy:
-            return _np.zeros(self.b, dtype=_np.int16)
-        return [0] * self.b
-
-    def add_node(self, hits, node: int):
-        if self.use_numpy:
-            return hits + self.matrix[:, node]
-        updated = list(hits)
-        for obj_id in self.node_objects[node]:
-            updated[obj_id] += 1
-        return updated
-
-    def remove_node(self, hits, node: int):
-        if self.use_numpy:
-            return hits - self.matrix[:, node]
-        updated = list(hits)
-        for obj_id in self.node_objects[node]:
-            updated[obj_id] -= 1
-        return updated
-
-    def hits_for(self, nodes: Sequence[int]):
-        hits = self.empty_hits()
-        for node in nodes:
-            hits = self.add_node(hits, node)
-        return hits
-
-    def damage_of(self, hits) -> int:
-        if self.use_numpy:
-            return int((hits >= self.s).sum())
-        return sum(1 for h in hits if h >= self.s)
-
-    def best_addition(self, hits, banned: Sequence[int]) -> Tuple[int, int]:
-        """(node, resulting damage) maximizing damage after adding one node."""
-        if self.use_numpy:
-            totals = hits[:, None] + self.matrix
-            damages = (totals >= self.s).sum(axis=0)
-            if banned:
-                damages[list(banned)] = -1
-            node = int(damages.argmax())
-            return node, int(damages[node])
-        banned_set = set(banned)
-        best_node, best_damage = -1, -1
-        for node in range(self.n):
-            if node in banned_set:
-                continue
-            updated = self.add_node(hits, node)
-            d = self.damage_of(updated)
-            if d > best_damage:
-                best_node, best_damage = node, d
-        return best_node, best_damage
-
-
-# Toggle for tests: force the pure-Python code paths even when numpy exists.
-_FORCE_PURE_PYTHON = [False]
+def _bind_kernel(
+    placement: Placement, s: int, kernel: Optional[DamageKernel]
+) -> DamageKernel:
+    """The kernel to search with; validates a caller-supplied one."""
+    if kernel is None:
+        return make_kernel(placement, s)
+    if kernel.placement is not placement:
+        raise ValueError("kernel was built for a different placement")
+    if kernel.s != s:
+        raise ValueError(f"kernel was built for s={kernel.s}, attack wants s={s}")
+    return kernel
 
 
 class ExhaustiveAdversary:
@@ -154,7 +83,13 @@ class ExhaustiveAdversary:
     def __init__(self, max_subsets: int = 2_000_000) -> None:
         self.max_subsets = max_subsets
 
-    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
+    def attack(
+        self,
+        placement: Placement,
+        k: int,
+        s: int,
+        kernel: Optional[DamageKernel] = None,
+    ) -> AttackResult:
         n = placement.n
         if not 1 <= k < n:
             raise ValueError(f"need 1 <= k < n, got k={k}, n={n}")
@@ -164,7 +99,7 @@ class ExhaustiveAdversary:
                 f"C({n},{k}) = {total} exceeds the exhaustive limit "
                 f"{self.max_subsets}; use BranchAndBoundAdversary"
             )
-        model = _DamageModel(placement, s)
+        model = _bind_kernel(placement, s, kernel)
         best_nodes: Tuple[int, ...] = ()
         best_damage = -1
         evaluations = 0
@@ -182,7 +117,9 @@ class ExhaustiveAdversary:
             remaining = k - len(chosen)
             for node in range(start, n - remaining + 1):
                 chosen.append(node)
-                recurse(node + 1, model.add_node(hits, node))
+                hits = model.add_node(hits, node)
+                recurse(node + 1, hits)
+                hits = model.remove_node(hits, node)
                 chosen.pop()
 
         recurse(0, model.empty_hits())
@@ -194,8 +131,14 @@ class ExhaustiveAdversary:
 class GreedyAdversary:
     """Myopically add the node that maximizes resulting damage."""
 
-    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
-        model = _DamageModel(placement, s)
+    def attack(
+        self,
+        placement: Placement,
+        k: int,
+        s: int,
+        kernel: Optional[DamageKernel] = None,
+    ) -> AttackResult:
+        model = _bind_kernel(placement, s, kernel)
         hits = model.empty_hits()
         chosen: List[int] = []
         evaluations = 0
@@ -217,17 +160,37 @@ class LocalSearchAdversary:
 
     Each sweep tries every (remove u, add v) swap and takes the best strict
     improvement, iterating to a local optimum. Restarts re-seed from random
-    k-subsets. Deterministic under a seeded ``rng``.
+    k-subsets.
+
+    Determinism: every ``attack()`` call draws from a *fresh*
+    ``random.Random(seed)``, so results depend only on the arguments —
+    never on how many attacks the instance ran before (the old shared
+    default generator made results call-order dependent). Passing ``rng``
+    instead opts back into caller-managed generator state.
     """
 
-    def __init__(self, restarts: int = 4, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self,
+        restarts: int = 4,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+    ) -> None:
         if restarts < 0:
             raise ValueError(f"restarts must be >= 0, got {restarts}")
         self.restarts = restarts
-        self.rng = rng or random.Random(0)
+        self.rng = rng
+        self.seed = seed
 
-    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
-        model = _DamageModel(placement, s)
+    def attack(
+        self,
+        placement: Placement,
+        k: int,
+        s: int,
+        kernel: Optional[DamageKernel] = None,
+        warm_start: Optional[Sequence[int]] = None,
+    ) -> AttackResult:
+        model = _bind_kernel(placement, s, kernel)
+        rng = self.rng if self.rng is not None else random.Random(self.seed)
         evaluations = 0
 
         def polish(seed_nodes: List[int]) -> Tuple[Tuple[int, ...], int, int]:
@@ -240,24 +203,43 @@ class LocalSearchAdversary:
                 improved = False
                 for position in range(len(nodes)):
                     u = nodes[position]
-                    without = model.remove_node(hits, u)
+                    hits = model.remove_node(hits, u)
                     v, d = model.best_addition(
-                        without, banned=[w for w in nodes if w != u]
+                        hits, banned=[w for w in nodes if w != u]
                     )
                     spent += model.n
                     if d > current:
                         nodes[position] = v
-                        hits = model.add_node(without, v)
+                        hits = model.add_node(hits, v)
                         current = d
                         improved = True
+                    else:
+                        hits = model.add_node(hits, u)
             return tuple(sorted(nodes)), current, spent
 
-        greedy = GreedyAdversary().attack(placement, k, s)
+        def complete(seed_nodes: Sequence[int]) -> List[int]:
+            """Extend a (possibly smaller) failure set to size k greedily."""
+            nodes = [u for u in dict.fromkeys(seed_nodes) if 0 <= u < model.n][:k]
+            hits = model.hits_for(nodes)
+            while len(nodes) < k:
+                v, _ = model.best_addition(hits, banned=nodes)
+                nodes.append(v)
+                hits = model.add_node(hits, v)
+            return nodes
+
+        greedy = GreedyAdversary().attack(placement, k, s, kernel=model)
         evaluations += greedy.evaluations
         best_nodes, best_damage, spent = polish(list(greedy.nodes))
         evaluations += spent
+        if warm_start is not None:
+            seeded = complete(warm_start)
+            evaluations += model.n * max(0, k - len(set(warm_start)))
+            nodes, dmg, spent = polish(seeded)
+            evaluations += spent
+            if dmg > best_damage:
+                best_nodes, best_damage = nodes, dmg
         for _ in range(self.restarts):
-            seed = self.rng.sample(range(model.n), k)
+            seed = rng.sample(range(model.n), k)
             nodes, dmg, spent = polish(seed)
             evaluations += spent
             if dmg > best_damage:
@@ -271,10 +253,10 @@ class BranchAndBoundAdversary:
     """Exact search with deficit-based pruning and a heuristic incumbent.
 
     Enumerates k-subsets in ascending node order; at each partial set it
-    bounds the best completion by counting objects that are still killable:
-    deficit (replicas still needed) at most the remaining slots *and*
-    reachable among the not-yet-considered nodes. With the local-search
-    incumbent installed up front, most branches die immediately.
+    bounds the best completion with the kernel's deficit-based optimistic
+    bound (objects still killable with the remaining slots among the
+    not-yet-considered nodes). With the local-search incumbent installed
+    up front, most branches die immediately.
 
     ``max_nodes`` bounds the search-tree size; on exhaustion the best-known
     attack is returned with ``exact=False``.
@@ -286,52 +268,25 @@ class BranchAndBoundAdversary:
         self.max_nodes = max_nodes
         self.restarts = restarts
 
-    def attack(self, placement: Placement, k: int, s: int) -> AttackResult:
-        model = _DamageModel(placement, s)
-        n, b = model.n, model.b
+    def attack(
+        self,
+        placement: Placement,
+        k: int,
+        s: int,
+        kernel: Optional[DamageKernel] = None,
+        warm_start: Optional[Sequence[int]] = None,
+    ) -> AttackResult:
+        model = _bind_kernel(placement, s, kernel)
+        n = model.n
         incumbent = LocalSearchAdversary(restarts=self.restarts).attack(
-            placement, k, s
+            placement, k, s, kernel=model, warm_start=warm_start
         )
         best_damage = incumbent.damage
         best_nodes = incumbent.nodes
         evaluations = incumbent.evaluations
         budget = [self.max_nodes if self.max_nodes is not None else -1]
         exhausted = [False]
-
-        if model.use_numpy:
-            # suffix_replicas[o, j] = replicas of object o on nodes >= j.
-            reversed_cumsum = _np.cumsum(model.matrix[:, ::-1], axis=1)[:, ::-1]
-            suffix = _np.concatenate(
-                [reversed_cumsum, _np.zeros((b, 1), dtype=reversed_cumsum.dtype)],
-                axis=1,
-            )
-        else:
-            suffix_lists = [[0] * (n + 1) for _ in range(b)]
-            for obj_id, nodes in enumerate(placement.replica_sets):
-                row = suffix_lists[obj_id]
-                for node in nodes:
-                    row[node] += 1
-                for j in range(n - 1, -1, -1):
-                    row[j] += row[j + 1]
-            suffix = suffix_lists
-
         chosen: List[int] = []
-
-        def optimistic_bound(hits, start: int, slots: int) -> int:
-            if model.use_numpy:
-                deficit = model.s - hits
-                killable = (deficit <= 0) | (
-                    (deficit <= slots) & (suffix[:, start] >= deficit)
-                )
-                return int(killable.sum())
-            count = 0
-            for obj_id in range(b):
-                deficit = model.s - hits[obj_id]
-                if deficit <= 0:
-                    count += 1
-                elif deficit <= slots and suffix[obj_id][start] >= deficit:
-                    count += 1
-            return count
 
         def recurse(start: int, hits) -> None:
             nonlocal best_damage, best_nodes, evaluations
@@ -350,11 +305,13 @@ class BranchAndBoundAdversary:
                 return
             if budget[0] > 0:
                 budget[0] -= 1
-            if optimistic_bound(hits, start, slots) <= best_damage:
+            if model.optimistic_bound(hits, start, slots) <= best_damage:
                 return
             for node in range(start, n - slots + 1):
                 chosen.append(node)
-                recurse(node + 1, model.add_node(hits, node))
+                hits = model.add_node(hits, node)
+                recurse(node + 1, hits)
+                hits = model.remove_node(hits, node)
                 chosen.pop()
                 if exhausted[0]:
                     return
@@ -374,6 +331,8 @@ def best_attack(
     s: int,
     effort: str = "auto",
     rng: Optional[random.Random] = None,
+    kernel: Optional[DamageKernel] = None,
+    warm_start: Optional[Sequence[int]] = None,
 ) -> AttackResult:
     """Convenience dispatcher over the adversary ladder.
 
@@ -382,16 +341,26 @@ def best_attack(
         * ``"exact"`` — branch and bound with no budget (provably optimal);
         * ``"auto"`` — exact for small instances (``C(n,k) * b`` below ~2e8),
           local search with extra restarts otherwise.
+
+    ``kernel`` reuses a prebuilt damage kernel (incidence sharing across a
+    grid of attacks); ``warm_start`` seeds the heuristic search with a
+    known-good failure set, e.g. the result of the (k-1)-attack.
     """
     if effort == "fast":
-        return LocalSearchAdversary(restarts=4, rng=rng).attack(placement, k, s)
+        return LocalSearchAdversary(restarts=4, rng=rng).attack(
+            placement, k, s, kernel=kernel, warm_start=warm_start
+        )
     if effort == "exact":
-        return BranchAndBoundAdversary(max_nodes=None).attack(placement, k, s)
+        return BranchAndBoundAdversary(max_nodes=None).attack(
+            placement, k, s, kernel=kernel, warm_start=warm_start
+        )
     if effort == "auto":
         work = binom(placement.n, k) * placement.b
         if work <= 200_000_000:
             return BranchAndBoundAdversary(max_nodes=5_000_000).attack(
-                placement, k, s
+                placement, k, s, kernel=kernel, warm_start=warm_start
             )
-        return LocalSearchAdversary(restarts=8, rng=rng).attack(placement, k, s)
+        return LocalSearchAdversary(restarts=8, rng=rng).attack(
+            placement, k, s, kernel=kernel, warm_start=warm_start
+        )
     raise ValueError(f"unknown effort {effort!r}; use fast, exact or auto")

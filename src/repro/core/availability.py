@@ -1,12 +1,18 @@
-"""Availability evaluation: Definition 1 tied to the adversary engines."""
+"""Availability evaluation: Definition 1 tied to the adversary engines.
+
+Single-cell evaluation and whole grids both route through the batched
+attack engine (:mod:`repro.core.batch`), so the incidence structure is
+built once per placement and searches share incumbents across cells.
+"""
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.adversary import AttackResult, best_attack
+from repro.core.adversary import AttackResult
+from repro.core.batch import AttackCell, batch_attack
 from repro.core.placement import Placement
 
 
@@ -40,6 +46,7 @@ def evaluate_availability(
     s: int,
     effort: str = "auto",
     rng: Optional[random.Random] = None,
+    backend: Optional[str] = None,
 ) -> AvailabilityReport:
     """Compute (or upper-bound) ``Avail(pi)`` = b - worst-case damage.
 
@@ -47,7 +54,9 @@ def evaluate_availability(
     availability is an *upper* bound on the true worst case: the adversary
     may have missed a better attack, never overstated one.
     """
-    attack = best_attack(placement, k, s, effort=effort, rng=rng)
+    [attack] = batch_attack(
+        placement, [AttackCell(k, s, effort)], backend=backend, rng=rng
+    )
     return AvailabilityReport(
         b=placement.b,
         k=k,
@@ -55,6 +64,34 @@ def evaluate_availability(
         available=placement.b - attack.damage,
         attack=attack,
     )
+
+
+def evaluate_availability_grid(
+    placement: Placement,
+    cells: Sequence[AttackCell],
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    seed: int = 0,
+) -> List[AvailabilityReport]:
+    """Batched ``Avail(pi)`` over a grid of (k, s, effort) cells.
+
+    One incidence build, shared kernels per threshold, chained incumbents
+    (and optional multiprocessing) — see :func:`repro.core.batch.batch_attack`.
+    Reports align with ``cells``.
+    """
+    attacks = batch_attack(
+        placement, cells, backend=backend, workers=workers, seed=seed
+    )
+    return [
+        AvailabilityReport(
+            b=placement.b,
+            k=cell.k,
+            s=cell.s,
+            available=placement.b - attack.damage,
+            attack=attack,
+        )
+        for cell, attack in zip(cells, attacks)
+    ]
 
 
 def survivors_under(

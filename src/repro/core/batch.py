@@ -1,0 +1,212 @@
+"""Batched worst-case attack engine: one placement, many (k, s, effort) cells.
+
+Every simulation figure evaluates the same placement under a grid of
+failure scenarios — Fig. 2 sweeps (s, k) per object count, Fig. 7 sweeps
+k per Monte-Carlo sample. Attacking cell-by-cell rebuilds the incidence
+structure for every cell and forgets everything the previous search
+learned. This engine instead:
+
+* builds the node-major :class:`~repro.core.kernels.Incidence` once per
+  placement and shares one kernel per fatality threshold ``s``;
+* orders each threshold group by ascending ``k`` and chains incumbents —
+  the k-attack's failure set seeds the (k+1)-search (``warm_start``),
+  which both speeds local search and tightens branch-and-bound pruning;
+* optionally fans independent threshold groups out over
+  ``multiprocessing`` (``REPRO_WORKERS`` or the ``workers`` argument;
+  worker processes rebuild their own incidence, which is cheap relative
+  to search).
+
+Attacks are deterministic: each cell's restart randomness derives from
+``(seed, s, k, effort)`` via :func:`repro.util.rng.derive_rng`, so the
+same grid replays bit-for-bit regardless of worker count or cell order.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.adversary import AttackResult, best_attack
+from repro.core.kernels import Incidence, make_kernel, resolve_backend
+from repro.core.placement import Placement
+from repro.util.rng import derive_rng
+
+_EFFORTS = ("fast", "auto", "exact")
+
+
+@dataclass(frozen=True)
+class AttackCell:
+    """One evaluation request: fail ``k`` nodes, objects die at ``s`` losses."""
+
+    k: int
+    s: int
+    effort: str = "auto"
+
+
+def worker_count(default: int = 1) -> int:
+    """Worker processes for batched attacks (``REPRO_WORKERS``; 1 = serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "") or str(default)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def _validate_cells(placement: Placement, cells: Sequence[AttackCell]) -> None:
+    for cell in cells:
+        if not 1 <= cell.k < placement.n:
+            raise ValueError(f"need 1 <= k < n={placement.n}, got k={cell.k}")
+        if not 1 <= cell.s <= placement.r:
+            raise ValueError(f"need 1 <= s <= r={placement.r}, got s={cell.s}")
+        if cell.effort not in _EFFORTS:
+            raise ValueError(
+                f"unknown effort {cell.effort!r}; use one of {_EFFORTS}"
+            )
+
+
+def _attack_group(
+    placement: Placement,
+    s: int,
+    group: Sequence[Tuple[int, AttackCell]],
+    backend: str,
+    seed: int,
+    incidence: Optional[Incidence] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[int, AttackResult]]:
+    """Attack one threshold group (pre-sorted by k), chaining incumbents.
+
+    Top-level so multiprocessing can pickle it; ``incidence`` is shared in
+    serial mode and rebuilt per worker otherwise.
+    """
+    if incidence is None:
+        incidence = Incidence(placement)
+    kernel = make_kernel(placement, s, backend=backend, incidence=incidence)
+    results: List[Tuple[int, AttackResult]] = []
+    warm: Optional[Tuple[int, ...]] = None
+    for index, cell in group:
+        cell_rng = rng if rng is not None else derive_rng(
+            seed, "batch", s, cell.k, cell.effort
+        )
+        attack = best_attack(
+            placement,
+            cell.k,
+            s,
+            effort=cell.effort,
+            rng=cell_rng,
+            kernel=kernel,
+            warm_start=warm,
+        )
+        warm = attack.nodes
+        results.append((index, attack))
+    return results
+
+
+def batch_attack(
+    placement: Placement,
+    cells: Iterable[AttackCell],
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[AttackResult]:
+    """Evaluate a grid of attack cells; results align with the input order.
+
+    ``backend`` picks the damage kernel (default: ``REPRO_KERNEL``/auto),
+    ``workers`` the process fan-out (default: ``REPRO_WORKERS``/serial);
+    see :func:`_partition` for how grids split across workers and the
+    effect on heuristic warm-start chains.
+    ``rng`` overrides the per-cell derived generators with one shared
+    caller-managed generator (serial mode only; used by single-cell
+    wrappers that expose an ``rng`` parameter).
+    """
+    cell_list = list(cells)
+    _validate_cells(placement, cell_list)
+    if not cell_list:
+        return []
+    chosen_backend = resolve_backend(backend)
+    groups: Dict[int, List[Tuple[int, AttackCell]]] = {}
+    for index, cell in enumerate(cell_list):
+        groups.setdefault(cell.s, []).append((index, cell))
+    for group in groups.values():
+        group.sort(key=lambda item: (item[1].k, item[0]))
+    workers = worker_count() if workers is None else workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    results: List[Optional[AttackResult]] = [None] * len(cell_list)
+    payloads = _partition(placement, groups, chosen_backend, seed, workers)
+    if workers > 1 and len(payloads) > 1 and rng is None:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with context.Pool(processes=min(workers, len(payloads))) as pool:
+            chunks = pool.starmap(_attack_group, payloads)
+        for chunk in chunks:
+            for index, attack in chunk:
+                results[index] = attack
+    else:
+        incidence = Incidence(placement)
+        for placement_, s, group, backend_, seed_ in payloads:
+            for index, attack in _attack_group(
+                placement_, s, group, backend_, seed_,
+                incidence=incidence, rng=rng,
+            ):
+                results[index] = attack
+    return results  # type: ignore[return-value]
+
+
+def _partition(
+    placement: Placement,
+    groups: Dict[int, List[Tuple[int, AttackCell]]],
+    backend: str,
+    seed: int,
+    workers: int,
+) -> List[Tuple[Placement, int, List[Tuple[int, AttackCell]], str, int]]:
+    """Split threshold groups into worker payloads.
+
+    One payload per threshold by default; with spare workers, large
+    single-threshold k-ladders are chunked into contiguous ascending-k
+    runs so ``workers`` helps even when every cell shares one ``s`` (the
+    common case: CLI grids, fig7, run_attack_grid). Each chunk keeps its
+    internal warm-start chain; chunk boundaries start cold, so heuristic
+    results can differ between worker counts (exact efforts cannot).
+    Chunking is a pure function of (cells, workers): a fixed worker count
+    replays bit-for-bit.
+    """
+    payloads = []
+    chunks_per_group = max(1, workers // max(1, len(groups)))
+    for s, group in sorted(groups.items()):
+        chunk_count = min(len(group), chunks_per_group)
+        size = -(-len(group) // chunk_count)
+        for offset in range(0, len(group), size):
+            payloads.append(
+                (placement, s, group[offset:offset + size], backend, seed)
+            )
+    return payloads
+
+
+def attack_grid(
+    placement: Placement,
+    k_values: Sequence[int],
+    s_values: Sequence[int],
+    effort: str = "auto",
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[Tuple[int, int], AttackResult]:
+    """Full-cartesian convenience wrapper: ``{(k, s): AttackResult}``."""
+    cells = [AttackCell(k, s, effort) for s in s_values for k in k_values]
+    results = batch_attack(
+        placement, cells, backend=backend, workers=workers, seed=seed
+    )
+    return {(cell.k, cell.s): attack for cell, attack in zip(cells, results)}

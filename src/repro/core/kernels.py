@@ -1,0 +1,488 @@
+"""Pluggable damage kernels: the shared hot path of worst-case search.
+
+Every availability number in the paper (Definition 1's ``Avail(pi)`` =
+min surviving objects over all C(n, k) failure sets) bottlenecks on one
+operation: given a partial failure set, how many objects have lost at
+least ``s`` replicas, and which node kills the most next? This module
+isolates that operation behind the :class:`DamageKernel` interface with
+three interchangeable backends:
+
+* :class:`BitsetKernel` — node-major Python ints as object bitmasks with
+  popcount via ``int.bit_count()``. ``levels[i]`` holds the bitmask of
+  objects with at least ``i + 1`` failed replicas, so adding a node is
+  ``s`` AND/OR word operations and the common s = 1..2 damage queries are
+  a single popcount — near branch-free, and dependency-free.
+* :class:`NumpyKernel` — dense ``int16`` incidence with *preallocated*
+  scratch buffers and in-place ``add_node``/``remove_node`` (no per-move
+  allocation, unlike the historical ``hits + matrix[:, node]`` path).
+* :class:`PythonKernel` — per-node object lists; the fallback when numpy
+  is absent and the reference implementation for the other two.
+
+Backend choice: ``force_backend`` (a context manager, used by tests) >
+explicit ``backend=`` argument > the ``REPRO_KERNEL`` environment knob >
+``"auto"`` (the bitset kernel, which never has missing dependencies).
+
+Kernels bind an :class:`Incidence` — the node-major structure built once
+per placement — to one fatality threshold ``s``; the batch engine
+(:mod:`repro.core.batch`) shares a single incidence across a whole grid
+of (k, s, effort) cells.
+
+The ``hits`` objects a kernel hands out are opaque and owned by the
+kernel: ``add_node``/``remove_node`` may mutate their argument and return
+the object to use afterwards. Search engines therefore backtrack with the
+inverse call instead of keeping references to earlier states.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.placement import Placement
+
+try:  # optional accelerator
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    _np = None
+
+#: Recognized backend names, fastest-first.
+BACKENDS: Tuple[str, ...] = ("bitset", "numpy", "python")
+
+#: What ``auto`` resolves to; the bitset kernel needs only the stdlib.
+DEFAULT_BACKEND = "bitset"
+
+# Stack of backends pinned by force_backend(); top of stack wins.
+_FORCED: List[str] = []
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def _absorb(levels: List[int], mask: int) -> None:
+    """Fold one node's object mask into saturating at-least-count levels.
+
+    ``levels[i]`` is the bitmask of objects with at least ``i + 1`` hits;
+    the update must run top-down so each level absorbs the *previous*
+    state of the level below. Shared by both hit tracking and the suffix
+    tables, so the invariant cannot drift between damage counting and
+    branch-and-bound pruning.
+    """
+    for i in range(len(levels) - 1, 0, -1):
+        levels[i] |= levels[i - 1] & mask
+    levels[0] |= mask
+
+
+@contextmanager
+def force_backend(name: str) -> Iterator[None]:
+    """Pin kernel selection for the dynamic extent of the ``with`` block.
+
+    Overrides both explicit ``backend=`` arguments and ``REPRO_KERNEL``,
+    and unwinds on exit even when the body raises — the replacement for
+    the old ``_FORCE_PURE_PYTHON`` mutable global, which leaked between
+    tests. Nested blocks stack; the innermost wins.
+    """
+    if name not in BACKENDS:
+        raise ValueError(f"unknown kernel backend {name!r}; use one of {BACKENDS}")
+    if name == "numpy" and _np is None:
+        raise ValueError("cannot force the numpy backend: numpy is not importable")
+    _FORCED.append(name)
+    try:
+        yield
+    finally:
+        _FORCED.pop()
+
+
+def resolve_backend(requested: Optional[str] = None) -> str:
+    """The concrete backend to use, honoring forcing, argument and env."""
+    if _FORCED:
+        return _FORCED[-1]
+    choice = requested or os.environ.get("REPRO_KERNEL", "auto") or "auto"
+    if choice == "auto":
+        return DEFAULT_BACKEND
+    if choice not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {choice!r}; use auto or one of {BACKENDS}"
+        )
+    if choice == "numpy" and _np is None:
+        raise ValueError("numpy backend requested but numpy is not importable")
+    return choice
+
+
+class Incidence:
+    """Node-major incidence structures for one placement, built lazily.
+
+    One instance is shared by every kernel (any ``s``, any backend) and
+    every attack cell evaluated against the same placement: bitmasks for
+    the bitset kernel, the dense matrix for numpy, suffix replica counts
+    for branch-and-bound optimistic bounds.
+    """
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        self.n = placement.n
+        self.b = placement.b
+        self._masks: Optional[List[int]] = None
+        self._suffix_masks: Optional[List[List[int]]] = None
+        self._matrix = None
+        self._columns = None
+        self._suffix_matrix = None
+        self._suffix_counts: Optional[List[List[int]]] = None
+
+    # -- bitset structures -------------------------------------------------
+
+    def node_masks(self) -> List[int]:
+        """``masks[node]`` has bit ``o`` set iff object ``o`` lives there."""
+        if self._masks is None:
+            masks = [0] * self.n
+            for obj_id, nodes in enumerate(self.placement.replica_sets):
+                bit = 1 << obj_id
+                for node in nodes:
+                    masks[node] |= bit
+            self._masks = masks
+        return self._masks
+
+    def full_mask(self) -> int:
+        return (1 << self.b) - 1
+
+    def suffix_masks(self) -> List[List[int]]:
+        """``table[j][d]`` = bitmask of objects with >= d replicas on nodes >= j.
+
+        Built in one backward sweep with the same saturating-level update
+        the bitset kernel uses for hits; d ranges over 1..r (index 0 unused).
+        """
+        if self._suffix_masks is None:
+            r = self.placement.r
+            masks = self.node_masks()
+            levels = [0] * r
+            table: List[List[int]] = [[]] * (self.n + 1)
+            table[self.n] = [0] + list(levels)
+            for j in range(self.n - 1, -1, -1):
+                _absorb(levels, masks[j])
+                table[j] = [0] + list(levels)  # index 0 unused; table[j][d]
+            self._suffix_masks = table
+        return self._suffix_masks
+
+    # -- numpy structures --------------------------------------------------
+
+    def matrix(self):
+        """Object-by-node ``int16`` incidence matrix (numpy only)."""
+        if self._matrix is None:
+            matrix = _np.zeros((self.b, self.n), dtype=_np.int16)
+            for obj_id, nodes in enumerate(self.placement.replica_sets):
+                for node in nodes:
+                    matrix[obj_id, node] = 1
+            self._matrix = matrix
+        return self._matrix
+
+    def columns(self):
+        """``columns[node]`` = contiguous incidence row for one node."""
+        if self._columns is None:
+            self._columns = _np.ascontiguousarray(self.matrix().T)
+        return self._columns
+
+    def suffix_matrix(self):
+        """``suffix[o, j]`` = replicas of object ``o`` on nodes >= j."""
+        if self._suffix_matrix is None:
+            reversed_cumsum = _np.cumsum(self.matrix()[:, ::-1], axis=1)[:, ::-1]
+            self._suffix_matrix = _np.concatenate(
+                [reversed_cumsum, _np.zeros((self.b, 1), dtype=reversed_cumsum.dtype)],
+                axis=1,
+            )
+        return self._suffix_matrix
+
+    # -- pure-python structures --------------------------------------------
+
+    def node_objects(self) -> Tuple[Tuple[int, ...], ...]:
+        """For each node, the ids of hosted objects (cached on the placement)."""
+        return self.placement.node_incidence()
+
+    def suffix_counts(self) -> List[List[int]]:
+        """Pure-python twin of :meth:`suffix_matrix`."""
+        if self._suffix_counts is None:
+            rows = [[0] * (self.n + 1) for _ in range(self.b)]
+            for obj_id, nodes in enumerate(self.placement.replica_sets):
+                row = rows[obj_id]
+                for node in nodes:
+                    row[node] += 1
+                for j in range(self.n - 1, -1, -1):
+                    row[j] += row[j + 1]
+            self._suffix_counts = rows
+        return self._suffix_counts
+
+
+class DamageKernel:
+    """Incremental damage evaluation bound to one (placement, s) pair.
+
+    Subclasses implement the hit-vector operations; the contract on
+    ``hits`` objects (mutate-and-return, backtrack via the inverse call)
+    is described in the module docstring.
+    """
+
+    name = "abstract"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        placement = incidence.placement
+        if not 1 <= s <= placement.r:
+            raise ValueError(f"need 1 <= s <= r={placement.r}, got s={s}")
+        self.incidence = incidence
+        self.placement = placement
+        self.s = s
+        self.n = placement.n
+        self.b = placement.b
+
+    # -- hit-vector operations --------------------------------------------
+
+    def empty_hits(self):
+        raise NotImplementedError
+
+    def add_node(self, hits, node: int):
+        raise NotImplementedError
+
+    def remove_node(self, hits, node: int):
+        raise NotImplementedError
+
+    def hits_for(self, nodes: Sequence[int]):
+        hits = self.empty_hits()
+        for node in nodes:
+            hits = self.add_node(hits, node)
+        return hits
+
+    def damage_of(self, hits) -> int:
+        raise NotImplementedError
+
+    def damage_for(self, nodes: Sequence[int]) -> int:
+        """One-shot damage of a concrete failure set."""
+        return self.damage_of(self.hits_for(nodes))
+
+    def best_addition(self, hits, banned: Sequence[int]) -> Tuple[int, int]:
+        """(node, resulting damage) maximizing damage after adding one node.
+
+        Ties break toward the lowest node id in every backend, so search
+        trajectories (and therefore heuristic results) are backend-independent.
+        """
+        raise NotImplementedError
+
+    def optimistic_bound(self, hits, start: int, slots: int) -> int:
+        """Upper bound on damage after adding ``slots`` nodes from ``>= start``.
+
+        Counts objects that are dead already or still killable: deficit
+        (replicas to reach ``s``) at most ``slots`` *and* reachable among
+        the not-yet-considered nodes. Used by branch-and-bound pruning.
+        """
+        raise NotImplementedError
+
+
+class _BitsetHits:
+    """Mutable bitset hit state: chosen nodes + saturating level masks."""
+
+    __slots__ = ("nodes", "levels")
+
+    def __init__(self, s: int) -> None:
+        self.nodes: List[int] = []
+        self.levels: List[int] = [0] * s
+
+
+class BitsetKernel(DamageKernel):
+    """Python-int bitmask backend; see the module docstring."""
+
+    name = "bitset"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        super().__init__(incidence, s)
+        self.masks = incidence.node_masks()
+
+    def empty_hits(self) -> _BitsetHits:
+        return _BitsetHits(self.s)
+
+    def add_node(self, hits: _BitsetHits, node: int) -> _BitsetHits:
+        _absorb(hits.levels, self.masks[node])
+        hits.nodes.append(node)
+        return hits
+
+    def remove_node(self, hits: _BitsetHits, node: int) -> _BitsetHits:
+        # Saturating levels cannot be decremented; rebuild from survivors.
+        # The failure sets under search are tiny (k <= n), so this stays
+        # O(k * s) word-vector operations.
+        hits.nodes.remove(node)
+        levels = [0] * self.s
+        for kept in hits.nodes:
+            _absorb(levels, self.masks[kept])
+        hits.levels = levels
+        return hits
+
+    def damage_of(self, hits: _BitsetHits) -> int:
+        return hits.levels[self.s - 1].bit_count()
+
+    def best_addition(self, hits: _BitsetHits, banned: Sequence[int]) -> Tuple[int, int]:
+        masks = self.masks
+        banned_set = set(banned)
+        best_node, best_damage = -1, -1
+        top = hits.levels[self.s - 1]
+        if self.s == 1:
+            for node in range(self.n):
+                if node in banned_set:
+                    continue
+                d = (top | masks[node]).bit_count()
+                if d > best_damage:
+                    best_node, best_damage = node, d
+        else:
+            sub = hits.levels[self.s - 2]
+            for node in range(self.n):
+                if node in banned_set:
+                    continue
+                d = (top | (sub & masks[node])).bit_count()
+                if d > best_damage:
+                    best_node, best_damage = node, d
+        return best_node, best_damage
+
+    def optimistic_bound(self, hits: _BitsetHits, start: int, slots: int) -> int:
+        suffix = self.incidence.suffix_masks()[start]
+        levels = hits.levels
+        killable = levels[self.s - 1]
+        for deficit in range(1, min(slots, self.s) + 1):
+            if deficit < self.s:
+                # Objects with >= s - deficit hits already...
+                reachable = levels[self.s - deficit - 1]
+            else:
+                # ...or any object at all when s more failures suffice.
+                reachable = self.incidence.full_mask()
+            # ...that still have >= deficit replicas on unconsidered nodes.
+            killable |= reachable & suffix[deficit]
+        return killable.bit_count()
+
+
+class NumpyKernel(DamageKernel):
+    """Dense-matrix backend with preallocated scratch buffers."""
+
+    name = "numpy"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        if _np is None:
+            raise RuntimeError("NumpyKernel requires numpy")
+        super().__init__(incidence, s)
+        self.matrix = incidence.matrix()
+        self.columns = incidence.columns()
+        b, n = self.b, self.n
+        self._totals = _np.empty((b, n), dtype=_np.int16)
+        self._killed = _np.empty((b, n), dtype=bool)
+        self._damages = _np.empty(n, dtype=_np.int64)
+        self._dead = _np.empty(b, dtype=bool)
+        self._deficit = _np.empty(b, dtype=_np.int16)
+        self._bound_a = _np.empty(b, dtype=bool)
+        self._bound_b = _np.empty(b, dtype=bool)
+
+    def empty_hits(self):
+        return _np.zeros(self.b, dtype=_np.int16)
+
+    def add_node(self, hits, node: int):
+        hits += self.columns[node]
+        return hits
+
+    def remove_node(self, hits, node: int):
+        hits -= self.columns[node]
+        return hits
+
+    def damage_of(self, hits) -> int:
+        _np.greater_equal(hits, self.s, out=self._dead)
+        return int(self._dead.sum())
+
+    def best_addition(self, hits, banned: Sequence[int]) -> Tuple[int, int]:
+        _np.add(hits[:, None], self.matrix, out=self._totals)
+        _np.greater_equal(self._totals, self.s, out=self._killed)
+        self._killed.sum(axis=0, out=self._damages)
+        if banned:
+            self._damages[list(banned)] = -1
+        node = int(self._damages.argmax())
+        return node, int(self._damages[node])
+
+    def optimistic_bound(self, hits, start: int, slots: int) -> int:
+        suffix = self.incidence.suffix_matrix()
+        deficit = self._deficit
+        _np.subtract(self.s, hits, out=deficit)
+        _np.less_equal(deficit, slots, out=self._bound_a)
+        _np.greater_equal(suffix[:, start], deficit, out=self._bound_b)
+        self._bound_a &= self._bound_b
+        _np.less_equal(deficit, 0, out=self._bound_b)
+        self._bound_a |= self._bound_b
+        return int(self._bound_a.sum())
+
+
+class PythonKernel(DamageKernel):
+    """Per-node object lists; the dependency-free reference backend."""
+
+    name = "python"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        super().__init__(incidence, s)
+        self.node_objects = incidence.node_objects()
+
+    def empty_hits(self) -> List[int]:
+        return [0] * self.b
+
+    def add_node(self, hits: List[int], node: int) -> List[int]:
+        for obj_id in self.node_objects[node]:
+            hits[obj_id] += 1
+        return hits
+
+    def remove_node(self, hits: List[int], node: int) -> List[int]:
+        for obj_id in self.node_objects[node]:
+            hits[obj_id] -= 1
+        return hits
+
+    def damage_of(self, hits: List[int]) -> int:
+        s = self.s
+        return sum(1 for h in hits if h >= s)
+
+    def best_addition(self, hits: List[int], banned: Sequence[int]) -> Tuple[int, int]:
+        banned_set = set(banned)
+        s = self.s
+        base = self.damage_of(hits)
+        best_node, best_damage = -1, -1
+        for node in range(self.n):
+            if node in banned_set:
+                continue
+            # Only objects on `node` can change state; count crossings.
+            d = base
+            for obj_id in self.node_objects[node]:
+                if hits[obj_id] == s - 1:
+                    d += 1
+            if d > best_damage:
+                best_node, best_damage = node, d
+        return best_node, best_damage
+
+    def optimistic_bound(self, hits: List[int], start: int, slots: int) -> int:
+        suffix = self.incidence.suffix_counts()
+        s = self.s
+        count = 0
+        for obj_id in range(self.b):
+            deficit = s - hits[obj_id]
+            if deficit <= 0:
+                count += 1
+            elif deficit <= slots and suffix[obj_id][start] >= deficit:
+                count += 1
+        return count
+
+
+def make_kernel(
+    placement: Placement,
+    s: int,
+    backend: Optional[str] = None,
+    incidence: Optional[Incidence] = None,
+) -> DamageKernel:
+    """Build the damage kernel for ``(placement, s)``.
+
+    Pass ``incidence`` to share one :class:`Incidence` across several
+    kernels (different ``s``) over the same placement.
+    """
+    chosen = resolve_backend(backend)
+    if incidence is None:
+        incidence = Incidence(placement)
+    elif incidence.placement is not placement:
+        raise ValueError("incidence was built for a different placement")
+    if chosen == "bitset":
+        return BitsetKernel(incidence, s)
+    if chosen == "numpy":
+        return NumpyKernel(incidence, s)
+    return PythonKernel(incidence, s)

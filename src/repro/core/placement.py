@@ -71,30 +71,60 @@ class Placement:
         """Replicas per object."""
         return len(self.replica_sets[0])
 
+    def _cached(self, name: str, build):
+        # The dataclass is frozen but still carries a __dict__, so derived
+        # structures are memoized via object.__setattr__: every adversary
+        # kernel and load query reuses one computation per placement.
+        value = self.__dict__.get(name)
+        if value is None:
+            value = build()
+            object.__setattr__(self, name, value)
+        return value
+
+    def load_profile(self) -> Tuple[int, ...]:
+        """Replicas hosted per node, computed once per placement."""
+
+        def build() -> Tuple[int, ...]:
+            loads = [0] * self.n
+            for nodes in self.replica_sets:
+                for node in nodes:
+                    loads[node] += 1
+            return tuple(loads)
+
+        return self._cached("_load_profile", build)
+
     def loads(self) -> List[int]:
         """Replicas hosted per node (the load-balance profile)."""
-        loads = [0] * self.n
-        for nodes in self.replica_sets:
-            for node in nodes:
-                loads[node] += 1
-        return loads
+        return list(self.load_profile())
 
     def max_load(self) -> int:
-        return max(self.loads())
+        return max(self.load_profile())
 
     def objects_on(self, node: int) -> List[int]:
         """Ids of objects with a replica on ``node``."""
         if not 0 <= node < self.n:
             raise PlacementError(f"node {node} outside [0, {self.n})")
-        return [i for i, nodes in enumerate(self.replica_sets) if node in nodes]
+        return list(self.node_incidence()[node])
+
+    def node_incidence(self) -> Tuple[Tuple[int, ...], ...]:
+        """Inverse map, computed once per placement: node -> hosted objects.
+
+        The cached tuples are shared between every damage kernel built on
+        this placement; use :meth:`node_to_objects` for mutable copies.
+        """
+
+        def build() -> Tuple[Tuple[int, ...], ...]:
+            table: List[List[int]] = [[] for _ in range(self.n)]
+            for obj_id, nodes in enumerate(self.replica_sets):
+                for node in nodes:
+                    table[node].append(obj_id)
+            return tuple(tuple(row) for row in table)
+
+        return self._cached("_node_incidence", build)
 
     def node_to_objects(self) -> List[List[int]]:
         """Inverse map: for each node, the objects it hosts."""
-        table: List[List[int]] = [[] for _ in range(self.n)]
-        for obj_id, nodes in enumerate(self.replica_sets):
-            for node in nodes:
-                table[node].append(obj_id)
-        return table
+        return [list(row) for row in self.node_incidence()]
 
     def failed_objects(self, failed_nodes: Iterable[int], s: int) -> List[int]:
         """Objects with at least ``s`` replicas on ``failed_nodes``."""

@@ -7,6 +7,7 @@ import pytest
 from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.engine import (
     compare_strategies,
+    run_attack_grid,
     run_attack_scenario,
     run_churn_scenario,
     run_random_failure_scenario,
@@ -130,6 +131,18 @@ class TestEngine:
         assert report.objects_available + report.objects_lost == 26
         assert report.k == 3
         assert report.load.maximum >= 1
+
+    def test_attack_grid_matches_single_scenarios(self):
+        placement = SimpleStrategy(13, 3, 1).place(26)
+        rule = threshold_rule(2)
+        reports = run_attack_grid(placement, (2, 3, 4), rule, effort="exact")
+        assert [r.k for r in reports] == [2, 3, 4]
+        for report in reports:
+            single = run_attack_scenario(placement, report.k, rule, effort="exact")
+            assert report.objects_lost == single.objects_lost
+        # Worst-case losses are monotone in k.
+        losses = [r.objects_lost for r in reports]
+        assert losses == sorted(losses)
 
     def test_random_failure_scenario(self):
         placement = RandomStrategy(10, 3).place(30, random.Random(0))

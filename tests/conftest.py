@@ -4,6 +4,13 @@ import random
 
 import pytest
 
+from repro.core.kernels import BACKENDS, force_backend, numpy_available
+
+
+def available_backends():
+    """Every kernel backend runnable in this environment."""
+    return [b for b in BACKENDS if b != "numpy" or numpy_available()]
+
 
 def pytest_configure(config):
     config.addinivalue_line(
@@ -15,3 +22,22 @@ def pytest_configure(config):
 def rng():
     """A deterministic RNG; tests needing different streams derive their own."""
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=available_backends())
+def each_backend(request):
+    """Run the test once per kernel backend, pinned via force_backend.
+
+    The context manager unwinds on teardown, so a failing test can never
+    leak its backend choice into the rest of the session (the failure mode
+    of the old _FORCE_PURE_PYTHON mutable global).
+    """
+    with force_backend(request.param):
+        yield request.param
+
+
+@pytest.fixture
+def pure_python_kernels():
+    """Pin the dependency-free kernel for the duration of one test."""
+    with force_backend("python"):
+        yield

@@ -1,0 +1,128 @@
+"""Tests for the batched attack engine."""
+
+import random
+
+import pytest
+
+from repro.core.adversary import best_attack, damage
+from repro.core.availability import evaluate_availability_grid
+from repro.core.batch import AttackCell, attack_grid, batch_attack, worker_count
+from repro.core.kernels import BACKENDS, numpy_available
+from repro.core.random_placement import RandomStrategy
+from repro.core.simple import SimpleStrategy
+
+
+def random_placement(n, r, b, seed):
+    return RandomStrategy(n, r).place(b, random.Random(seed))
+
+
+class TestBatchAttack:
+    def test_results_align_with_cells(self):
+        placement = random_placement(12, 3, 40, 0)
+        cells = [
+            AttackCell(3, 2, "exact"),
+            AttackCell(2, 1, "exact"),
+            AttackCell(2, 2, "exact"),
+        ]
+        results = batch_attack(placement, cells)
+        assert len(results) == 3
+        for cell, attack in zip(cells, results):
+            assert len(attack.nodes) == cell.k
+            assert damage(placement, attack.nodes, cell.s) == attack.damage
+            assert attack.exact
+
+    def test_matches_unbatched_exact_search(self):
+        placement = random_placement(11, 3, 35, 1)
+        cells = [AttackCell(k, s, "exact") for s in (1, 2) for k in (2, 3)]
+        batched = batch_attack(placement, cells)
+        for cell, attack in zip(cells, batched):
+            solo = best_attack(placement, cell.k, cell.s, effort="exact")
+            assert attack.damage == solo.damage
+
+    def test_incumbent_chaining_is_monotone(self):
+        # More failures never kill fewer objects within one threshold group.
+        placement = random_placement(20, 3, 120, 2)
+        cells = [AttackCell(k, 2, "fast") for k in range(2, 7)]
+        results = batch_attack(placement, cells)
+        damages = [attack.damage for attack in results]
+        assert damages == sorted(damages)
+
+    def test_deterministic_replay(self):
+        placement = random_placement(16, 3, 60, 3)
+        cells = [AttackCell(k, s, "fast") for s in (1, 2) for k in (2, 3, 4)]
+        first = batch_attack(placement, cells, seed=7)
+        second = batch_attack(placement, cells, seed=7)
+        assert first == second
+
+    def test_empty_grid(self):
+        placement = random_placement(8, 3, 10, 4)
+        assert batch_attack(placement, []) == []
+
+    def test_cell_validation(self):
+        placement = random_placement(8, 3, 10, 5)
+        with pytest.raises(ValueError):
+            batch_attack(placement, [AttackCell(0, 2)])
+        with pytest.raises(ValueError):
+            batch_attack(placement, [AttackCell(2, 9)])
+        with pytest.raises(ValueError):
+            batch_attack(placement, [AttackCell(2, 2, "extreme")])
+
+    def test_multiprocess_matches_serial(self):
+        placement = random_placement(12, 3, 40, 6)
+        cells = [AttackCell(k, s, "fast") for s in (1, 2, 3) for k in (2, 3)]
+        serial = batch_attack(placement, cells, workers=1, seed=11)
+        fanned = batch_attack(placement, cells, workers=2, seed=11)
+        assert serial == fanned
+
+    def test_single_threshold_grid_fans_out(self):
+        # One s but many k: spare workers chunk the k-ladder; with exact
+        # effort the results are identical to serial regardless.
+        placement = random_placement(11, 3, 35, 9)
+        cells = [AttackCell(k, 2, "exact") for k in (2, 3, 4, 5)]
+        serial = batch_attack(placement, cells, workers=1, seed=5)
+        fanned = batch_attack(placement, cells, workers=2, seed=5)
+        assert [a.damage for a in serial] == [a.damage for a in fanned]
+        assert all(a.exact for a in fanned)
+
+    def test_backend_choice_does_not_change_results(self):
+        placement = random_placement(12, 3, 40, 7)
+        cells = [AttackCell(k, 2, "fast") for k in (2, 3, 4)]
+        backends = [b for b in BACKENDS if b != "numpy" or numpy_available()]
+        per_backend = [
+            batch_attack(placement, cells, backend=name, seed=3)
+            for name in backends
+        ]
+        assert all(result == per_backend[0] for result in per_backend[1:])
+
+
+class TestAttackGrid:
+    def test_full_cartesian(self):
+        placement = SimpleStrategy(13, 3, 1).place(26)
+        grid = attack_grid(placement, k_values=(2, 3), s_values=(2, 3),
+                           effort="exact")
+        assert set(grid) == {(2, 2), (3, 2), (2, 3), (3, 3)}
+        # Damage grows with k and shrinks with s.
+        assert grid[(3, 2)].damage >= grid[(2, 2)].damage
+        assert grid[(2, 3)].damage <= grid[(2, 2)].damage
+
+
+class TestAvailabilityGrid:
+    def test_reports_align(self):
+        placement = random_placement(12, 3, 40, 8)
+        cells = [AttackCell(3, 2, "exact"), AttackCell(2, 2, "exact")]
+        reports = evaluate_availability_grid(placement, cells)
+        assert [(r.k, r.s) for r in reports] == [(3, 2), (2, 2)]
+        for report in reports:
+            assert report.available + report.attack.damage == placement.b
+            assert report.exact
+
+
+class TestWorkerKnob:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert worker_count() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert worker_count() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            worker_count()

@@ -1,0 +1,209 @@
+"""Property tests: all damage-kernel backends agree with the legacy oracle.
+
+The three backends (bitset / numpy / python) implement one contract; these
+tests drive them with hypothesis-generated random placements and assert
+they agree with each other and with the reference ``damage()`` function on
+damage evaluation, ``best_addition`` and branch-and-bound optimistic
+bounds. The pure-python kernel doubles as the oracle for the other two.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adversary import damage
+from repro.core.kernels import (
+    BACKENDS,
+    Incidence,
+    force_backend,
+    make_kernel,
+    numpy_available,
+    resolve_backend,
+)
+from repro.core.random_placement import RandomStrategy
+
+
+def available_backends():
+    return [b for b in BACKENDS if b != "numpy" or numpy_available()]
+
+
+def random_placement(n, r, b, seed):
+    return RandomStrategy(n, r).place(b, random.Random(seed))
+
+
+def kernels_for(placement, s):
+    incidence = Incidence(placement)
+    return [
+        make_kernel(placement, s, backend=name, incidence=incidence)
+        for name in available_backends()
+    ]
+
+
+placements = st.builds(
+    random_placement,
+    n=st.integers(5, 14),
+    r=st.integers(2, 4),
+    b=st.integers(1, 40),
+    seed=st.integers(0, 10_000),
+).filter(lambda p: p.r <= p.n)
+
+
+class TestDamageAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(placements, st.data())
+    def test_damage_matches_legacy_oracle(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        k = data.draw(st.integers(1, placement.n - 1))
+        nodes = data.draw(
+            st.permutations(range(placement.n)).map(lambda p: list(p)[:k])
+        )
+        expected = damage(placement, nodes, s)
+        for kernel in kernels_for(placement, s):
+            assert kernel.damage_for(nodes) == expected, kernel.name
+
+    @settings(max_examples=25, deadline=None)
+    @given(placements, st.data())
+    def test_incremental_add_remove_roundtrip(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        moves = data.draw(
+            st.lists(st.integers(0, placement.n - 1), min_size=1, max_size=8)
+        )
+        for kernel in kernels_for(placement, s):
+            hits = kernel.empty_hits()
+            active = []
+            for node in moves:
+                if node in active:
+                    hits = kernel.remove_node(hits, node)
+                    active.remove(node)
+                else:
+                    hits = kernel.add_node(hits, node)
+                    active.append(node)
+                assert kernel.damage_of(hits) == damage(placement, active, s), (
+                    kernel.name
+                )
+
+
+class TestBestAddition:
+    @settings(max_examples=30, deadline=None)
+    @given(placements, st.data())
+    def test_backends_agree_exactly(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        base_size = data.draw(st.integers(0, min(4, placement.n - 2)))
+        base = data.draw(
+            st.permutations(range(placement.n)).map(lambda p: list(p)[:base_size])
+        )
+        banned = base
+        outcomes = []
+        for kernel in kernels_for(placement, s):
+            hits = kernel.hits_for(base)
+            outcomes.append((kernel.name, kernel.best_addition(hits, banned)))
+        reference = outcomes[0][1]
+        for name, outcome in outcomes[1:]:
+            assert outcome == reference, (name, outcomes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(placements, st.data())
+    def test_best_addition_is_truly_best(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        base_size = data.draw(st.integers(0, min(3, placement.n - 2)))
+        base = data.draw(
+            st.permutations(range(placement.n)).map(lambda p: list(p)[:base_size])
+        )
+        kernel = make_kernel(placement, s, backend="python")
+        hits = kernel.hits_for(base)
+        node, best = kernel.best_addition(hits, banned=base)
+        assert node not in base
+        assert best == damage(placement, base + [node], s)
+        for candidate in range(placement.n):
+            if candidate in base:
+                continue
+            assert damage(placement, base + [candidate], s) <= best
+
+
+class TestOptimisticBound:
+    @settings(max_examples=25, deadline=None)
+    @given(placements, st.data())
+    def test_bound_sound_and_backend_independent(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        n = placement.n
+        start = data.draw(st.integers(0, n))
+        slots = data.draw(st.integers(1, 3))
+        base_size = data.draw(st.integers(0, 2))
+        base = data.draw(
+            st.permutations(range(placement.n)).map(lambda p: list(p)[:base_size])
+        )
+        bounds = []
+        for kernel in kernels_for(placement, s):
+            hits = kernel.hits_for(base)
+            bounds.append(kernel.optimistic_bound(hits, start, slots))
+        assert len(set(bounds)) == 1, dict(zip(available_backends(), bounds))
+        # Soundness: no completion from nodes >= start can beat the bound.
+        completions = [
+            nodes
+            for count in range(min(slots, n - start) + 1)
+            for nodes in itertools.combinations(range(start, n), count)
+        ]
+        best_completion = max(
+            damage(placement, list(base) + list(extra), s) for extra in completions
+        )
+        assert bounds[0] >= best_completion
+
+
+class TestSelection:
+    def test_explicit_backend_names(self):
+        placement = random_placement(8, 3, 12, 0)
+        for name in available_backends():
+            assert make_kernel(placement, 2, backend=name).name == name
+
+    def test_unknown_backend_rejected(self):
+        placement = random_placement(8, 3, 12, 0)
+        with pytest.raises(ValueError):
+            make_kernel(placement, 2, backend="cuda")
+        with pytest.raises(ValueError):
+            resolve_backend("fortran")
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert resolve_backend() == "python"
+        monkeypatch.setenv("REPRO_KERNEL", "nonsense")
+        with pytest.raises(ValueError):
+            resolve_backend()
+
+    def test_force_overrides_env_and_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "bitset")
+        with force_backend("python"):
+            assert resolve_backend("bitset") == "python"
+
+    def test_force_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            with force_backend("gpu"):
+                pass  # pragma: no cover
+
+    def test_auto_is_dependency_free(self):
+        # Whatever auto resolves to must be constructible without numpy.
+        placement = random_placement(6, 2, 6, 1)
+        backend = resolve_backend("auto")
+        assert backend in BACKENDS
+        if not numpy_available():
+            assert backend != "numpy"  # pragma: no cover
+        assert make_kernel(placement, 1, backend=backend).damage_for([0]) >= 0
+
+    def test_s_validated(self):
+        placement = random_placement(8, 3, 12, 2)
+        with pytest.raises(ValueError):
+            make_kernel(placement, 0)
+        with pytest.raises(ValueError):
+            make_kernel(placement, placement.r + 1)
+
+    def test_incidence_shared_across_thresholds(self):
+        placement = random_placement(8, 3, 12, 3)
+        incidence = Incidence(placement)
+        k1 = make_kernel(placement, 1, backend="bitset", incidence=incidence)
+        k2 = make_kernel(placement, 2, backend="bitset", incidence=incidence)
+        assert k1.masks is k2.masks
+        other = random_placement(8, 3, 12, 4)
+        with pytest.raises(ValueError):
+            make_kernel(other, 1, incidence=incidence)

@@ -76,6 +76,23 @@ class TestAttackCommand:
         assert "certified optimal: yes" in out
         assert "objects killed:" in out
 
+    def test_batched_k_grid_with_kernel_choice(self, tmp_path, capsys):
+        target = tmp_path / "placement.json"
+        main([
+            "place", "--strategy", "random",
+            "--n", "12", "--r", "3", "--b", "24",
+            "--seed", "1", "--output", str(target),
+        ])
+        capsys.readouterr()
+        assert main([
+            "attack", str(target), "--k", "2", "--k", "3", "--s", "2",
+            "--effort", "exact", "--kernel", "python", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "--- k=2 ---" in out
+        assert "--- k=3 ---" in out
+        assert out.count("certified optimal: yes") == 2
+
 
 class TestAuditCommand:
     def test_audit_placement_file(self, tmp_path, capsys):
