@@ -1,18 +1,24 @@
-"""Perf record for the damage-kernel ladder (BENCH_kernels.json).
+"""Perf record for the damage-kernel ladder (BENCH_kernels.json, BENCH_2.json).
 
-Times the three pluggable kernels (bitset / numpy / python) against the
+Times the pluggable kernels (gain / bitset / numpy / python) against the
 seed's allocation-heavy ``_DamageModel`` numpy path (reproduced below as
-:class:`SeedDamageModel`) at paper scales, and asserts the headline of the
-kernel refactor: on a LocalSearchAdversary sweep at n=71, b=9600 the
-bitset or buffered-numpy kernel beats the seed path by >= 2x while every
-backend returns identical damage values.
+:class:`SeedDamageModel`) at paper scales, and asserts two headlines:
+
+* PR 1 (kept as a regression guard): on a LocalSearchAdversary sweep at
+  n=71, b=9600 the bitset or buffered-numpy kernel beats the seed path by
+  >= 2x while every backend returns identical damage values.
+* PR 2: the incremental gain-table engine completes the same sweep at
+  >= 5x the PR-1 bitset kernel's rate (when its native backing is
+  available; >= 1x otherwise), with identical damages. The trajectory —
+  PR-1 bitset baseline vs the gain engine, as ``local_search_attacks_per_sec``
+  — is recorded in the repo-top-level ``BENCH_2.json``.
 
 Run explicitly (bench files are not part of the tier-1 suite)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
 
-The JSON record lands in ``benchmarks/output/BENCH_kernels.json`` so later
-PRs can extend the perf trajectory.
+The per-scale JSON record lands in ``benchmarks/output/BENCH_kernels.json``
+so later PRs can extend the perf trajectory.
 """
 
 import json
@@ -29,15 +35,16 @@ from repro.core.adversary import (
     GreedyAdversary,
     LocalSearchAdversary,
 )
-from repro.core.kernels import make_kernel
+from repro.core.kernels import make_kernel, resolve_gain_backing
 from repro.core.random_placement import RandomStrategy
 from repro.util.tables import TextTable
 
 JSON_PATH = OUTPUT_DIR / "BENCH_kernels.json"
+BENCH_2_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_2.json"
 
 #: Paper-scale grid: cluster sizes x object counts (b capped at 9600).
 SCALES = [(31, 600), (31, 9600), (71, 600), (71, 9600), (257, 600), (257, 9600)]
-KERNEL_NAMES = ("bitset", "numpy", "python")
+KERNEL_NAMES = ("gain", "bitset", "numpy", "python")
 
 
 class SeedDamageModel:
@@ -91,6 +98,30 @@ class SeedDamageModel:
         node = int(damages.argmax())
         return node, int(damages[node])
 
+    def try_swap(self, hits, node, banned, current):
+        # The generic (unfused) polish position, so the frozen seed model
+        # keeps satisfying the kernel contract LocalSearch drives.
+        hits = self.remove_node(hits, node)
+        candidate, damage = self.best_addition(hits, banned)
+        if damage > current:
+            return self.add_node(hits, candidate), candidate, damage
+        return self.add_node(hits, node), None, current
+
+    def polish_pass(self, hits, nodes, current):
+        banned = set(nodes)
+        improved = False
+        for position in range(len(nodes)):
+            node = nodes[position]
+            banned.discard(node)
+            hits, swapped, current = self.try_swap(hits, node, banned, current)
+            if swapped is not None:
+                nodes[position] = swapped
+                banned.add(swapped)
+                improved = True
+            else:
+                banned.add(node)
+        return hits, current, improved
+
 
 def _engines_for(placement, s):
     engines = {name: make_kernel(placement, s, backend=name)
@@ -109,14 +140,28 @@ def _time_best_addition(model, reps=5):
     return (time.perf_counter() - start) / reps
 
 
-def _time_sweep(placement, s, model, k_values):
-    """Seconds for a LocalSearchAdversary sweep; returns (time, damages)."""
+def _time_sweep(placement, s, model, k_values, rounds=1):
+    """Best-of-``rounds`` seconds for a LocalSearch sweep; (time, damages).
+
+    The sweep runs standalone attacks (no batch engine), so the timing
+    measures search + kernel work — never the attack-result memo.
+    """
     adversary = LocalSearchAdversary(restarts=2, seed=0)
-    start = time.perf_counter()
-    damages = tuple(
-        adversary.attack(placement, k, s, kernel=model).damage for k in k_values
-    )
-    return time.perf_counter() - start, damages
+
+    def run():
+        start = time.perf_counter()
+        found = tuple(
+            adversary.attack(placement, k, s, kernel=model).damage
+            for k in k_values
+        )
+        return time.perf_counter() - start, found
+
+    best_seconds, damages = run()
+    for _ in range(rounds - 1):
+        seconds, found = run()
+        assert found == damages
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, damages
 
 
 def _collect():
@@ -136,13 +181,13 @@ def _collect():
                 }
             )
 
-    # Headline: full local-search sweep at n=71, b=9600.
+    # Headline: full local-search sweep at n=71, b=9600, best of 5 rounds.
     n, b, s, k_values = 71, 9600, 2, (3, 4, 5)
     placement = RandomStrategy(n, 3).place(b, random.Random(1))
     sweep = {}
     damages = {}
     for name, model in _engines_for(placement, s).items():
-        seconds, found = _time_sweep(placement, s, model, k_values)
+        seconds, found = _time_sweep(placement, s, model, k_values, rounds=5)
         sweep[name] = seconds
         damages[name] = found
     speedups = {
@@ -166,23 +211,37 @@ def test_kernel_ladder(benchmark):
             [record["n"], record["b"], record["backend"],
              record["best_addition_ops_per_sec"]]
         )
+    attacks_per_sec = {
+        name: round(len(k_values) / seconds, 1) for name, seconds in sweep.items()
+    }
     sweep_table = TextTable(
-        ["backend", "sweep sec", "speedup vs seed", "damages"],
+        ["backend", "sweep sec", "attacks/s", "speedup vs seed", "damages"],
         title=f"LocalSearch sweep n=71 b=9600 s=2 k={list(k_values)}",
     )
     for name, seconds in sorted(sweep.items(), key=lambda item: item[1]):
         sweep_table.add_row(
-            [name, round(seconds, 3), speedups.get(name, 1.0),
-             str(list(damages[name]))]
+            [name, round(seconds, 4), attacks_per_sec[name],
+             speedups.get(name, 1.0), str(list(damages[name]))]
         )
     emit("bench_kernels", table.render() + "\n\n" + sweep_table.render())
 
+    # Capture the previous record's bitset sweep (the PR-1 baseline as
+    # measured on its own run) before overwriting the file below.
+    pr1_recorded = None
+    if JSON_PATH.exists():
+        try:
+            prior = json.loads(JSON_PATH.read_text())
+            pr1_recorded = prior.get("sweep", {}).get("seconds", {}).get("bitset")
+        except ValueError:  # pragma: no cover - corrupt record
+            pr1_recorded = None
+
     payload = {
-        "schema": "bench_kernels/v1",
+        "schema": "bench_kernels/v2",
         "scales": records,
         "sweep": {
             "n": 71, "b": 9600, "s": 2, "k_values": list(k_values),
             "seconds": {name: round(v, 4) for name, v in sweep.items()},
+            "local_search_attacks_per_sec": attacks_per_sec,
             "speedup_vs_seed": speedups,
             "damages": {name: list(v) for name, v in damages.items()},
         },
@@ -190,12 +249,43 @@ def test_kernel_ladder(benchmark):
     OUTPUT_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
-    # Acceptance: a refactored kernel beats the seed numpy path >= 2x...
+    # BENCH_2: the PR-2 trajectory record — PR-1 bitset baseline vs the
+    # incremental gain engine, same adversary, same trajectory, no memo.
+    gain_backing = resolve_gain_backing()
+    gain_speedup = round(sweep["bitset"] / sweep["gain"], 2)
+    bench2 = {
+        "schema": "bench_2/v1",
+        "workload": {
+            "n": 71, "b": 9600, "s": 2, "k_values": list(k_values),
+            "adversary": "LocalSearchAdversary(restarts=2, seed=0)",
+        },
+        "pr1_bitset_baseline": {
+            "seconds": round(sweep["bitset"], 4),
+            "local_search_attacks_per_sec": attacks_per_sec["bitset"],
+            "recorded_pr1_seconds": pr1_recorded,
+        },
+        "gain_engine": {
+            "backing": gain_backing,
+            "seconds": round(sweep["gain"], 4),
+            "local_search_attacks_per_sec": attacks_per_sec["gain"],
+        },
+        "speedup_gain_vs_pr1_bitset": gain_speedup,
+        "damages_agree": damages["gain"] == damages["bitset"],
+    }
+    BENCH_2_PATH.write_text(json.dumps(bench2, indent=2) + "\n")
+
+    # PR-1 acceptance (regression guard): a refactored kernel beats the
+    # seed numpy path >= 2x...
     assert max(speedups["bitset"], speedups["numpy"]) >= 2.0, speedups
     # ...and every backend agrees exactly with the seed model's damage.
     reference = damages["seed-numpy"]
     for name in KERNEL_NAMES:
         assert damages[name] == reference, damages
+    # PR-2 acceptance: the gain engine completes the sweep at >= 5x the
+    # PR-1 bitset kernel's rate (native backing; the pure-python ladder
+    # fallbacks only have to break even).
+    required = 5.0 if gain_backing == "native" else 1.0
+    assert gain_speedup >= required, bench2
 
 
 def test_all_adversaries_agree_across_backends():

@@ -1,0 +1,89 @@
+"""Tiny-scale CI perf smoke: the gain engine must not lose to pure python.
+
+A guard, not a benchmark: it runs a small LocalSearch ladder (n=31,
+b=600 — seconds even on a throttled CI runner) through the auto-resolved
+gain engine and through the pure-python full-scan kernel, and fails if
+the gain engine is slower. The real perf record (paper scale, the >= 5x
+acceptance against the PR-1 bitset baseline) lives in
+``bench_kernels.py`` / ``BENCH_2.json``; this script only catches the
+"gain engine silently degraded below the floor" failure mode.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Exits non-zero (with a JSON diagnostic on stdout) on regression.
+"""
+
+import json
+import random
+import sys
+import time
+
+from repro.core.adversary import LocalSearchAdversary
+from repro.core.kernels import make_kernel, resolve_gain_backing
+from repro.core.random_placement import RandomStrategy
+
+N, B, S = 31, 600, 2
+K_VALUES = (2, 3, 4)
+ROUNDS = 7
+#: Timing-noise allowance: "at least as fast" with 10% grace on a 2-digit
+#: millisecond measurement.
+SLACK = 1.10
+
+
+def sweep_seconds(kernel) -> float:
+    adversary = LocalSearchAdversary(restarts=2, seed=0)
+    placement = kernel.placement
+    best = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for k in K_VALUES:
+            adversary.attack(placement, k, S, kernel=kernel)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main() -> int:
+    placement = RandomStrategy(N, 3).place(B, random.Random(0))
+    gain = make_kernel(placement, S, backend="gain")
+    python = make_kernel(placement, S, backend="python")
+    gain_damages = tuple(
+        LocalSearchAdversary(restarts=2, seed=0).attack(
+            placement, k, S, kernel=gain
+        ).damage
+        for k in K_VALUES
+    )
+    python_damages = tuple(
+        LocalSearchAdversary(restarts=2, seed=0).attack(
+            placement, k, S, kernel=python
+        ).damage
+        for k in K_VALUES
+    )
+    gain_seconds = sweep_seconds(gain)
+    python_seconds = sweep_seconds(python)
+    report = {
+        "n": N, "b": B, "s": S, "k_values": list(K_VALUES),
+        "gain_backing": resolve_gain_backing(),
+        "gain_seconds": round(gain_seconds, 5),
+        "python_seconds": round(python_seconds, 5),
+        "speedup": round(python_seconds / gain_seconds, 2),
+        "damages_agree": gain_damages == python_damages,
+    }
+    print(json.dumps(report))
+    if gain_damages != python_damages:
+        print("FAIL: gain engine and python kernel disagree", file=sys.stderr)
+        return 1
+    if gain_seconds > python_seconds * SLACK:
+        print(
+            f"FAIL: gain engine ({gain_seconds:.4f}s) slower than pure "
+            f"python ({python_seconds:.4f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,8 +97,10 @@ def generate(
             continue
         placement = strategy.place(b)
         # The whole (s, k) grid for this placement goes through the batch
-        # engine in one pass: the incidence structure is built once and a
-        # k-attack seeds the (k+1)-search within each threshold group.
+        # engine in one pass: one warm engine per placement structure, a
+        # k-attack seeds the (k+1)-search within each threshold group, and
+        # regenerating the figure in the same process replays from the
+        # attack memo instead of re-searching.
         grid = [
             AttackCell(k, s, effort)
             for s in s_values

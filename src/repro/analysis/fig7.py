@@ -102,8 +102,9 @@ def generate(
                 for rep in range(reps)
             ]
             # One batched pass per Monte-Carlo sample: the k-ladder of each
-            # placement shares its incidence structure and chains incumbents
-            # through the batch engine.
+            # placement shares its warm engine (incidence + per-threshold
+            # kernel) and chains incumbents; identical re-runs of a sample
+            # come out of the attack memo.
             avails_by_k: dict = {k: [] for k in k_values}
             grid = [AttackCell(k, s, effort) for k in k_values]
             for rep, placement in enumerate(placements):

@@ -67,12 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--s", type=int, required=True, help="fatality threshold")
     attack.add_argument("--effort", choices=("fast", "auto", "exact"),
                         default="auto")
-    attack.add_argument("--kernel", choices=("auto", "bitset", "numpy", "python"),
+    attack.add_argument("--kernel",
+                        choices=("auto", "gain", "bitset", "numpy", "python"),
                         default=None,
-                        help="damage-kernel backend (default: $REPRO_KERNEL/auto)")
+                        help="damage-kernel backend (default: $REPRO_KERNEL/"
+                        "auto = the incremental gain engine)")
     attack.add_argument("--workers", type=int, default=None,
                         help="worker processes for batched attacks "
                         "(default: $REPRO_WORKERS/1)")
+    attack.add_argument("--no-cache", action="store_true",
+                        help="always search, skipping the warm attack-result "
+                        "memo (default: $REPRO_ATTACK_CACHE/on)")
 
     bounds = commands.add_parser(
         "bounds", help="Combo guarantee vs Random prediction for one cell"
@@ -205,7 +210,8 @@ def _run_attack(args) -> int:
         placement = Placement.from_dict(json.load(handle))
     cells = [AttackCell(k, args.s, args.effort) for k in args.k]
     results = batch_attack(
-        placement, cells, backend=args.kernel, workers=args.workers
+        placement, cells, backend=args.kernel, workers=args.workers,
+        cache=False if args.no_cache else None,
     )
     print(f"placement: {placement}")
     for cell, result in zip(cells, results):

@@ -67,6 +67,11 @@ class WorstCaseInjector:
 
     Search runs through the batched attack engine; the damage kernel
     follows the ``REPRO_KERNEL`` knob unless ``backend`` overrides it.
+    Cluster snapshots are keyed structurally in the engine's warm cache,
+    so re-attacking an unchanged population — the common case in churn
+    scenarios, which re-inject every few events — reuses the incidence
+    and, when ``rng`` is None (the deterministic default, deriving cell
+    randomness from ``seed``), returns the memoized attack outright.
     (Each injection is a single attack cell, so worker fan-out does not
     apply here — use :func:`repro.cluster.engine.run_attack_grid` to
     evaluate whole k-grids in one batched, parallelizable pass.)
@@ -77,10 +82,14 @@ class WorstCaseInjector:
         effort: str = "auto",
         rng: Optional[random.Random] = None,
         backend: Optional[str] = None,
+        seed: int = 0,
+        cache: Optional[bool] = None,
     ) -> None:
         self.effort = effort
         self.rng = rng
         self.backend = backend
+        self.seed = seed
+        self.cache = cache
 
     def select(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
         placement = cluster.placement_snapshot()
@@ -89,6 +98,8 @@ class WorstCaseInjector:
             [AttackCell(k, rule.s, self.effort)],
             backend=self.backend,
             rng=self.rng,
+            seed=self.seed,
+            cache=self.cache,
         )
         return sorted(attack.nodes)
 

@@ -23,11 +23,36 @@ availability — callers that need a guaranteed direction use the ``exact``
 flag on the result.
 
 Damage evaluation is delegated to the pluggable kernels of
-:mod:`repro.core.kernels` (bitset / numpy / pure-python, selected via
-``REPRO_KERNEL`` or ``force_backend``); every engine accepts a prebuilt
-``kernel`` so grids of attacks share one incidence structure (see
-:mod:`repro.core.batch`), and heuristic engines accept a ``warm_start``
-failure set so a k-attack can seed the k+1 search.
+:mod:`repro.core.kernels` (selected via ``REPRO_KERNEL`` or
+``force_backend``); every engine accepts a prebuilt ``kernel`` so grids of
+attacks share one incidence structure (see :mod:`repro.core.batch`), and
+heuristic engines accept a ``warm_start`` failure set so a k-attack can
+seed the k+1 search.
+
+Per-move cost by kernel backend (n nodes, b objects, r replicas, failure
+set of size k; one "polish position" = remove + best-addition + re-add):
+
+=========  ==================  =================  ==============
+backend    best_addition       polish position    damage query
+=========  ==================  =================  ==============
+``gain``   O(n) table argmax   O(r^2 b / n + n)   O(1) counter
+``bitset`` O(n b / 64) words   O(n b / 64 + k s)  one popcount
+``numpy``  O(n b) vectorized   O(n b)             O(b) reduce
+``python`` O(n + r b / n)      O(n + r b / n)     O(b) scan
+=========  ==================  =================  ==============
+
+The gain engine is the default and the only backend whose per-position
+cost does not scale with ``n * b``; pick ``bitset`` when you need the
+stdlib-only engine with the lowest constant at small scale, ``python``
+as the executable reference. All backends return identical results —
+search trajectories (tie-breaks included) are backend-independent, and
+``evaluations`` counts candidate damage evaluations the same way
+everywhere, so :class:`AttackResult` values can be compared across
+backends bit-for-bit.
+
+Attack results for repeated identical (placement, cell) queries are
+memoized by the batch engine — see ``repro.core.batch`` for the cache
+semantics; the engines here always search when called directly.
 """
 
 from __future__ import annotations
@@ -194,46 +219,49 @@ class LocalSearchAdversary:
         evaluations = 0
 
         def polish(seed_nodes: List[int]) -> Tuple[Tuple[int, ...], int, int]:
+            # The hot loop, delegated sweep-by-sweep to the kernel: one
+            # polish_pass call runs try_swap at every position (a
+            # maintained banned set instead of a fresh n-element list per
+            # position; fused into a single foreign call on the native
+            # gain backing). Each position examines n - (k - 1) candidate
+            # additions; `spent` charges exactly that, identically for
+            # every backend.
             nodes = list(seed_nodes)
             hits = model.hits_for(nodes)
             current = model.damage_of(hits)
+            pass_cost = len(nodes) * (model.n - (len(nodes) - 1))
             spent = 0
             improved = True
             while improved:
-                improved = False
-                for position in range(len(nodes)):
-                    u = nodes[position]
-                    hits = model.remove_node(hits, u)
-                    v, d = model.best_addition(
-                        hits, banned=[w for w in nodes if w != u]
-                    )
-                    spent += model.n
-                    if d > current:
-                        nodes[position] = v
-                        hits = model.add_node(hits, v)
-                        current = d
-                        improved = True
-                    else:
-                        hits = model.add_node(hits, u)
+                hits, current, improved = model.polish_pass(hits, nodes, current)
+                spent += pass_cost
             return tuple(sorted(nodes)), current, spent
 
-        def complete(seed_nodes: Sequence[int]) -> List[int]:
-            """Extend a (possibly smaller) failure set to size k greedily."""
+        def complete(seed_nodes: Sequence[int]) -> Tuple[List[int], int]:
+            """Greedily extend a (possibly smaller) failure set to size k.
+
+            Returns the nodes plus the candidate evaluations actually
+            spent: duplicates and out-of-range entries in ``seed_nodes``
+            are dropped *before* accounting, so the charge reflects the
+            greedy steps that really ran.
+            """
             nodes = [u for u in dict.fromkeys(seed_nodes) if 0 <= u < model.n][:k]
             hits = model.hits_for(nodes)
+            spent = 0
             while len(nodes) < k:
                 v, _ = model.best_addition(hits, banned=nodes)
+                spent += model.n - len(nodes)
                 nodes.append(v)
                 hits = model.add_node(hits, v)
-            return nodes
+            return nodes, spent
 
         greedy = GreedyAdversary().attack(placement, k, s, kernel=model)
         evaluations += greedy.evaluations
         best_nodes, best_damage, spent = polish(list(greedy.nodes))
         evaluations += spent
         if warm_start is not None:
-            seeded = complete(warm_start)
-            evaluations += model.n * max(0, k - len(set(warm_start)))
+            seeded, spent = complete(warm_start)
+            evaluations += spent
             nodes, dmg, spent = polish(seeded)
             evaluations += spent
             if dmg > best_damage:
@@ -253,10 +281,12 @@ class BranchAndBoundAdversary:
     """Exact search with deficit-based pruning and a heuristic incumbent.
 
     Enumerates k-subsets in ascending node order; at each partial set it
-    bounds the best completion with the kernel's deficit-based optimistic
-    bound (objects still killable with the remaining slots among the
-    not-yet-considered nodes). With the local-search incumbent installed
-    up front, most branches die immediately.
+    bounds the best completion with the kernel's refined bound — the
+    deficit-based optimistic bound (objects still killable with the
+    remaining slots among the not-yet-considered nodes) capped by the
+    suffix top-degree sum, tightened further by gain-table state where the
+    backend has it. With the local-search incumbent installed up front,
+    most branches die immediately.
 
     ``max_nodes`` bounds the search-tree size; on exhaustion the best-known
     attack is returned with ``exact=False``.
@@ -305,7 +335,10 @@ class BranchAndBoundAdversary:
                 return
             if budget[0] > 0:
                 budget[0] -= 1
-            if model.optimistic_bound(hits, start, slots) <= best_damage:
+            # refined_bound = deficit bound capped by the suffix degree sum,
+            # plus any backend tightening (the gain kernel resolves
+            # one-slot completions exactly from its gain table).
+            if model.refined_bound(hits, start, slots) <= best_damage:
                 return
             for node in range(start, n - slots + 1):
                 chosen.append(node)

@@ -2,7 +2,9 @@
 
 Single-cell evaluation and whole grids both route through the batched
 attack engine (:mod:`repro.core.batch`), so the incidence structure is
-built once per placement and searches share incumbents across cells.
+built once per placement (and kept warm across calls via the process
+engine cache), searches share incumbents across cells, and repeated
+identical evaluations are served from the attack-result memo.
 """
 
 from __future__ import annotations
@@ -47,15 +49,19 @@ def evaluate_availability(
     effort: str = "auto",
     rng: Optional[random.Random] = None,
     backend: Optional[str] = None,
+    cache: Optional[bool] = None,
 ) -> AvailabilityReport:
     """Compute (or upper-bound) ``Avail(pi)`` = b - worst-case damage.
 
     With a heuristic adversary (``exact=False`` on the attack) the reported
     availability is an *upper* bound on the true worst case: the adversary
-    may have missed a better attack, never overstated one.
+    may have missed a better attack, never overstated one. ``cache``
+    overrides the attack-memo default (memoization only applies when
+    ``rng`` is None — see :mod:`repro.core.batch`).
     """
     [attack] = batch_attack(
-        placement, [AttackCell(k, s, effort)], backend=backend, rng=rng
+        placement, [AttackCell(k, s, effort)], backend=backend, rng=rng,
+        cache=cache,
     )
     return AvailabilityReport(
         b=placement.b,
@@ -72,15 +78,17 @@ def evaluate_availability_grid(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     seed: int = 0,
+    cache: Optional[bool] = None,
 ) -> List[AvailabilityReport]:
     """Batched ``Avail(pi)`` over a grid of (k, s, effort) cells.
 
-    One incidence build, shared kernels per threshold, chained incumbents
-    (and optional multiprocessing) — see :func:`repro.core.batch.batch_attack`.
-    Reports align with ``cells``.
+    One warm engine per placement structure, shared kernels per threshold,
+    chained incumbents, memoized repeats (and optional multiprocessing) —
+    see :func:`repro.core.batch.batch_attack`. Reports align with ``cells``.
     """
     attacks = batch_attack(
-        placement, cells, backend=backend, workers=workers, seed=seed
+        placement, cells, backend=backend, workers=workers, seed=seed,
+        cache=cache,
     )
     return [
         AvailabilityReport(

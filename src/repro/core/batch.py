@@ -2,38 +2,70 @@
 
 Every simulation figure evaluates the same placement under a grid of
 failure scenarios — Fig. 2 sweeps (s, k) per object count, Fig. 7 sweeps
-k per Monte-Carlo sample. Attacking cell-by-cell rebuilds the incidence
+k per Monte-Carlo sample, the cluster simulator re-attacks snapshots of
+the same population. Attacking cell-by-cell rebuilds the incidence
 structure for every cell and forgets everything the previous search
-learned. This engine instead:
+learned. This engine instead keeps a *warm, persistent pipeline*:
 
-* builds the node-major :class:`~repro.core.kernels.Incidence` once per
-  placement and shares one kernel per fatality threshold ``s``;
-* orders each threshold group by ascending ``k`` and chains incumbents —
-  the k-attack's failure set seeds the (k+1)-search (``warm_start``),
-  which both speeds local search and tightens branch-and-bound pruning;
-* optionally fans independent threshold groups out over
-  ``multiprocessing`` (``REPRO_WORKERS`` or the ``workers`` argument;
-  worker processes rebuild their own incidence, which is cheap relative
-  to search).
+* :class:`AttackEngine` holds the node-major
+  :class:`~repro.core.kernels.Incidence`, one damage kernel per fatality
+  threshold ``s``, and a bounded memo of finished attacks. Engines are
+  cached per process keyed by :meth:`Placement.fingerprint`, so repeated
+  ``batch_attack`` calls — and even *distinct but structurally equal*
+  placement objects, e.g. fresh cluster snapshots of an unchanged
+  population — reuse kernel state instead of rebuilding it;
+* each threshold group is ordered by ascending ``k`` and chains
+  incumbents — the k-attack's failure set seeds the (k+1)-search
+  (``warm_start``), which both speeds local search and tightens
+  branch-and-bound pruning;
+* the attack memo is keyed by (cell, seed, warm chain) under the
+  placement fingerprint, so identical queries (same structure, same cell,
+  same derived randomness) return the finished result without searching.
+  Memoization is semantically invisible: results are deterministic
+  functions of the key. ``REPRO_ATTACK_CACHE=0`` (or ``cache=False``)
+  disables it; caller-managed ``rng`` bypasses it automatically since the
+  generator state is not part of the key;
+* independent threshold groups optionally fan out over
+  ``multiprocessing`` (``REPRO_WORKERS`` or the ``workers`` argument).
+  Worker processes keep their own engine caches, so a worker that
+  receives several payloads for one placement builds its incidence once;
+  under the ``fork`` start method they also inherit the parent's
+  already-warm engines for free.
 
 Attacks are deterministic: each cell's restart randomness derives from
 ``(seed, s, k, effort)`` via :func:`repro.util.rng.derive_rng`, so the
-same grid replays bit-for-bit regardless of worker count or cell order.
+same grid replays bit-for-bit regardless of worker count, cell order, or
+cache hits.
 """
 
 from __future__ import annotations
 
 import os
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.adversary import AttackResult, best_attack
-from repro.core.kernels import Incidence, make_kernel, resolve_backend
+from repro.core.kernels import (
+    DamageKernel,
+    Incidence,
+    make_kernel,
+    resolve_backend,
+    resolve_gain_backing,
+)
 from repro.core.placement import Placement
 from repro.util.rng import derive_rng
 
 _EFFORTS = ("fast", "auto", "exact")
+
+#: Engines kept warm per process (LRU by placement fingerprint + backend).
+_ENGINE_CACHE_CAP = 8
+#: Finished attacks remembered per engine (LRU).
+_MEMO_CAP = 1024
+
+_ENGINES: "OrderedDict[Tuple[str, str], AttackEngine]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 @dataclass(frozen=True)
@@ -59,6 +91,142 @@ def worker_count(default: int = 1) -> int:
     return value
 
 
+def attack_cache_default() -> bool:
+    """Whether the attack memo is on (``REPRO_ATTACK_CACHE``; default yes)."""
+    raw = os.environ.get("REPRO_ATTACK_CACHE", "1").strip().lower()
+    if raw in ("1", "true", "yes", "on", ""):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"REPRO_ATTACK_CACHE must be boolean-like, got {raw!r}"
+    )
+
+
+def attack_cache_stats() -> Dict[str, int]:
+    """Process-wide memo counters plus the number of warm engines."""
+    return {**_CACHE_STATS, "engines": len(_ENGINES)}
+
+
+def clear_attack_caches() -> None:
+    """Drop every warm engine and memoized result (tests, memory pressure)."""
+    _ENGINES.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+class AttackEngine:
+    """Warm per-placement attack state: incidence, kernels, result memo.
+
+    Bound to one resolved kernel backend. Use :func:`engine_for` to get
+    the process-cached instance instead of constructing directly.
+    """
+
+    def __init__(self, placement: Placement, backend: Optional[str] = None) -> None:
+        self.placement = placement
+        self.backend = resolve_backend(backend)
+        # Pin the gain backing at construction so lazily built kernels
+        # cannot drift from the backing this engine was cached under.
+        self.gain_backing = (
+            resolve_gain_backing() if self.backend == "gain" else None
+        )
+        self.incidence = Incidence(placement)
+        self._kernels: Dict[int, DamageKernel] = {}
+        self._memo: "OrderedDict[tuple, AttackResult]" = OrderedDict()
+
+    def kernel(self, s: int) -> DamageKernel:
+        """The shared damage kernel for threshold ``s`` (built once)."""
+        kernel = self._kernels.get(s)
+        if kernel is None:
+            kernel = make_kernel(
+                self.placement, s, backend=self.backend,
+                incidence=self.incidence, gain_backing=self.gain_backing,
+            )
+            self._kernels[s] = kernel
+        return kernel
+
+    def memo_get(self, key: tuple) -> Optional[AttackResult]:
+        """LRU lookup in the attack memo (refreshes recency on hit)."""
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._memo.move_to_end(key)
+        return cached
+
+    def memo_put(self, key: tuple, result: AttackResult) -> None:
+        """Insert into the attack memo, evicting the LRU tail past the cap."""
+        self._memo[key] = result
+        while len(self._memo) > _MEMO_CAP:
+            self._memo.popitem(last=False)
+
+    def attack(
+        self,
+        cell: AttackCell,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+        warm_start: Optional[Sequence[int]] = None,
+        cache: Optional[bool] = None,
+    ) -> AttackResult:
+        """Run (or recall) one attack cell against the warm kernel state.
+
+        With ``rng=None`` the cell's generator derives from
+        ``(seed, s, k, effort)``, making the result a pure function of the
+        memo key — eligible for caching. A caller-managed ``rng`` carries
+        hidden state, so those calls always search.
+        """
+        use_cache = (
+            (attack_cache_default() if cache is None else cache)
+            and rng is None
+        )
+        warm = tuple(warm_start) if warm_start is not None else None
+        key = (cell.k, cell.s, cell.effort, seed, warm)
+        if use_cache:
+            cached = self.memo_get(key)
+            if cached is not None:
+                _CACHE_STATS["hits"] += 1
+                return cached
+            _CACHE_STATS["misses"] += 1
+        cell_rng = rng if rng is not None else derive_rng(
+            seed, "batch", cell.s, cell.k, cell.effort
+        )
+        result = best_attack(
+            self.placement,
+            cell.k,
+            cell.s,
+            effort=cell.effort,
+            rng=cell_rng,
+            kernel=self.kernel(cell.s),
+            warm_start=warm,
+        )
+        if use_cache:
+            self.memo_put(key, result)
+        return result
+
+
+def engine_for(placement: Placement, backend: Optional[str] = None) -> AttackEngine:
+    """The process-cached warm engine for (placement structure, backend).
+
+    Structurally equal placements (same fingerprint) share one engine even
+    when they are distinct objects — the engine's own placement stands in
+    for all of them, which is sound because attacks depend only on
+    structure and node ids are preserved by equality. The gain engine's
+    resolved backing is part of the key, so re-pinning
+    ``REPRO_GAIN_BACKING`` mid-process builds a fresh engine instead of
+    silently reusing kernels of the previous backing.
+    """
+    resolved = resolve_backend(backend)
+    backing = resolve_gain_backing() if resolved == "gain" else ""
+    key = (placement.fingerprint(), resolved, backing)
+    engine = _ENGINES.get(key)
+    if engine is None:
+        engine = AttackEngine(placement, backend=resolved)
+        _ENGINES[key] = engine
+        while len(_ENGINES) > _ENGINE_CACHE_CAP:
+            _ENGINES.popitem(last=False)
+    else:
+        _ENGINES.move_to_end(key)
+    return engine
+
+
 def _validate_cells(placement: Placement, cells: Sequence[AttackCell]) -> None:
     for cell in cells:
         if not 1 <= cell.k < placement.n:
@@ -77,31 +245,21 @@ def _attack_group(
     group: Sequence[Tuple[int, AttackCell]],
     backend: str,
     seed: int,
-    incidence: Optional[Incidence] = None,
+    cache: Optional[bool] = None,
     rng: Optional[random.Random] = None,
 ) -> List[Tuple[int, AttackResult]]:
     """Attack one threshold group (pre-sorted by k), chaining incumbents.
 
-    Top-level so multiprocessing can pickle it; ``incidence`` is shared in
-    serial mode and rebuilt per worker otherwise.
+    Top-level so multiprocessing can pickle it; the warm engine comes from
+    the per-process cache, so a worker handed several payloads of one
+    placement (or a forked child of a warm parent) reuses kernel state.
     """
-    if incidence is None:
-        incidence = Incidence(placement)
-    kernel = make_kernel(placement, s, backend=backend, incidence=incidence)
+    engine = engine_for(placement, backend)
     results: List[Tuple[int, AttackResult]] = []
     warm: Optional[Tuple[int, ...]] = None
     for index, cell in group:
-        cell_rng = rng if rng is not None else derive_rng(
-            seed, "batch", s, cell.k, cell.effort
-        )
-        attack = best_attack(
-            placement,
-            cell.k,
-            s,
-            effort=cell.effort,
-            rng=cell_rng,
-            kernel=kernel,
-            warm_start=warm,
+        attack = engine.attack(
+            cell, seed=seed, rng=rng, warm_start=warm, cache=cache
         )
         warm = attack.nodes
         results.append((index, attack))
@@ -115,6 +273,7 @@ def batch_attack(
     workers: Optional[int] = None,
     seed: int = 0,
     rng: Optional[random.Random] = None,
+    cache: Optional[bool] = None,
 ) -> List[AttackResult]:
     """Evaluate a grid of attack cells; results align with the input order.
 
@@ -124,7 +283,8 @@ def batch_attack(
     effect on heuristic warm-start chains.
     ``rng`` overrides the per-cell derived generators with one shared
     caller-managed generator (serial mode only; used by single-cell
-    wrappers that expose an ``rng`` parameter).
+    wrappers that expose an ``rng`` parameter) and disables memoization.
+    ``cache`` overrides the ``REPRO_ATTACK_CACHE`` default for this call.
     """
     cell_list = list(cells)
     _validate_cells(placement, cell_list)
@@ -141,28 +301,78 @@ def batch_attack(
         raise ValueError(f"workers must be >= 1, got {workers}")
 
     results: List[Optional[AttackResult]] = [None] * len(cell_list)
-    payloads = _partition(placement, groups, chosen_backend, seed, workers)
+    payloads = _partition(placement, groups, chosen_backend, seed, workers, cache)
     if workers > 1 and len(payloads) > 1 and rng is None:
         import multiprocessing
 
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with context.Pool(processes=min(workers, len(payloads))) as pool:
-            chunks = pool.starmap(_attack_group, payloads)
-        for chunk in chunks:
-            for index, attack in chunk:
-                results[index] = attack
+        # Warm the parent engine first: under fork the children inherit
+        # the built incidence copy-on-write instead of rebuilding it —
+        # and any payload fully answerable from the parent's memo skips
+        # the pool outright.
+        engine = engine_for(placement, chosen_backend)
+        pending = []
+        for payload in payloads:
+            chunk = _memoized_group(engine, payload)
+            if chunk is None:
+                pending.append(payload)
+            else:
+                for index, attack in chunk:
+                    results[index] = attack
+        if pending:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with context.Pool(processes=min(workers, len(pending))) as pool:
+                chunks = pool.starmap(_attack_group, pending)
+            for chunk in chunks:
+                for index, attack in chunk:
+                    results[index] = attack
+            # Adopt worker results so later repeats are served locally.
+            _adopt_results(engine, pending, chunks, cache)
     else:
-        incidence = Incidence(placement)
-        for placement_, s, group, backend_, seed_ in payloads:
+        for placement_, s, group, backend_, seed_, cache_ in payloads:
             for index, attack in _attack_group(
-                placement_, s, group, backend_, seed_,
-                incidence=incidence, rng=rng,
+                placement_, s, group, backend_, seed_, cache=cache_, rng=rng,
             ):
                 results[index] = attack
     return results  # type: ignore[return-value]
+
+
+def _memoized_group(engine: AttackEngine, payload) -> Optional[
+    List[Tuple[int, AttackResult]]
+]:
+    """Serve one worker payload entirely from the engine memo, or None.
+
+    Walks the group's warm-start chain key by key; any miss aborts (the
+    chain's later keys depend on the missing result, so partial service
+    is impossible).
+    """
+    _placement, _s, group, _backend, seed, cache = payload
+    if not (attack_cache_default() if cache is None else cache):
+        return None
+    results: List[Tuple[int, AttackResult]] = []
+    warm: Optional[Tuple[int, ...]] = None
+    for index, cell in group:
+        cached = engine.memo_get((cell.k, cell.s, cell.effort, seed, warm))
+        if cached is None:
+            return None
+        results.append((index, cached))
+        warm = cached.nodes
+    _CACHE_STATS["hits"] += len(results)
+    return results
+
+
+def _adopt_results(engine: AttackEngine, payloads, chunks, cache) -> None:
+    """Store worker-computed attacks in the parent memo (post-pool)."""
+    if not (attack_cache_default() if cache is None else cache):
+        return
+    for payload, chunk in zip(payloads, chunks):
+        _placement, _s, group, _backend, seed, _cache = payload
+        warm: Optional[Tuple[int, ...]] = None
+        for (index, cell), (_index, attack) in zip(group, chunk):
+            engine.memo_put((cell.k, cell.s, cell.effort, seed, warm), attack)
+            warm = attack.nodes
 
 
 def _partition(
@@ -171,7 +381,8 @@ def _partition(
     backend: str,
     seed: int,
     workers: int,
-) -> List[Tuple[Placement, int, List[Tuple[int, AttackCell]], str, int]]:
+    cache: Optional[bool] = None,
+) -> List[Tuple[Placement, int, List[Tuple[int, AttackCell]], str, int, Optional[bool]]]:
     """Split threshold groups into worker payloads.
 
     One payload per threshold by default; with spare workers, large
@@ -190,7 +401,7 @@ def _partition(
         size = -(-len(group) // chunk_count)
         for offset in range(0, len(group), size):
             payloads.append(
-                (placement, s, group[offset:offset + size], backend, seed)
+                (placement, s, group[offset:offset + size], backend, seed, cache)
             )
     return payloads
 

@@ -5,22 +5,36 @@ min surviving objects over all C(n, k) failure sets) bottlenecks on one
 operation: given a partial failure set, how many objects have lost at
 least ``s`` replicas, and which node kills the most next? This module
 isolates that operation behind the :class:`DamageKernel` interface with
-three interchangeable backends:
+four interchangeable backends:
 
+* :class:`GainKernel` — the incremental gain-table engine and the default.
+  It maintains a length-``b`` hit-count vector plus a length-``n``
+  marginal-gain table (``gain[v]`` = objects at count ``s - 1`` covered by
+  ``v``), so ``add_node``/``remove_node`` touch only the ~``r * b / n``
+  objects incident to the changed node instead of rescanning all
+  ``n * b`` pairs, ``best_addition`` is an O(n) argmax over the table,
+  and ``damage_of`` is O(1). Four backings share one contract:
+  ``native`` (C hot loops compiled at first use, see
+  :mod:`repro.core.native`), ``numpy`` (scatter updates + a vectorized
+  ``M @ (counts == s - 1)`` bulk rebuild), ``bitset`` (bulk rebuilds via
+  level bitmasks), and ``python`` (the dependency-free reference).
+  Selected via ``REPRO_GAIN_BACKING`` or the ``gain_backing`` argument.
 * :class:`BitsetKernel` — node-major Python ints as object bitmasks with
   popcount via ``int.bit_count()``. ``levels[i]`` holds the bitmask of
   objects with at least ``i + 1`` failed replicas, so adding a node is
   ``s`` AND/OR word operations and the common s = 1..2 damage queries are
-  a single popcount — near branch-free, and dependency-free.
+  a single popcount — near branch-free, and dependency-free. Its
+  ``best_addition`` rescans all n candidate masks (O(n * b / 64) words).
 * :class:`NumpyKernel` — dense ``int16`` incidence with *preallocated*
   scratch buffers and in-place ``add_node``/``remove_node`` (no per-move
   allocation, unlike the historical ``hits + matrix[:, node]`` path).
 * :class:`PythonKernel` — per-node object lists; the fallback when numpy
-  is absent and the reference implementation for the other two.
+  is absent and the full-scan reference implementation.
 
 Backend choice: ``force_backend`` (a context manager, used by tests) >
 explicit ``backend=`` argument > the ``REPRO_KERNEL`` environment knob >
-``"auto"`` (the bitset kernel, which never has missing dependencies).
+``"auto"`` (the gain kernel, which never has missing dependencies — its
+backing ladder degrades from native through numpy to pure python).
 
 Kernels bind an :class:`Incidence` — the node-major structure built once
 per placement — to one fatality threshold ``s``; the batch engine
@@ -36,9 +50,11 @@ inverse call instead of keeping references to earlier states.
 from __future__ import annotations
 
 import os
+from array import array
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import native as _native
 from repro.core.placement import Placement
 
 try:  # optional accelerator
@@ -47,10 +63,13 @@ except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
     _np = None
 
 #: Recognized backend names, fastest-first.
-BACKENDS: Tuple[str, ...] = ("bitset", "numpy", "python")
+BACKENDS: Tuple[str, ...] = ("gain", "bitset", "numpy", "python")
 
-#: What ``auto`` resolves to; the bitset kernel needs only the stdlib.
-DEFAULT_BACKEND = "bitset"
+#: What ``auto`` resolves to; the gain kernel needs only the stdlib.
+DEFAULT_BACKEND = "gain"
+
+#: Recognized gain-engine backings, fastest-first.
+GAIN_BACKINGS: Tuple[str, ...] = ("native", "numpy", "bitset", "python")
 
 # Stack of backends pinned by force_backend(); top of stack wins.
 _FORCED: List[str] = []
@@ -110,6 +129,33 @@ def resolve_backend(requested: Optional[str] = None) -> str:
     return choice
 
 
+def resolve_gain_backing(requested: Optional[str] = None) -> str:
+    """The concrete gain-engine backing: argument > ``REPRO_GAIN_BACKING``.
+
+    ``auto`` walks the ladder native -> numpy -> bitset; an *explicit*
+    request for an unavailable backing raises instead of degrading, so a
+    pinned configuration never silently measures the wrong thing.
+    """
+    choice = requested or os.environ.get("REPRO_GAIN_BACKING", "auto") or "auto"
+    if choice == "auto":
+        if _native.available():
+            return "native"
+        if _np is not None:
+            return "numpy"
+        return "bitset"
+    if choice not in GAIN_BACKINGS:
+        raise ValueError(
+            f"unknown gain backing {choice!r}; use auto or one of {GAIN_BACKINGS}"
+        )
+    if choice == "native" and not _native.available():
+        raise ValueError(
+            f"native gain backing requested but unavailable: {_native.load_error()}"
+        )
+    if choice == "numpy" and _np is None:
+        raise ValueError("numpy gain backing requested but numpy is not importable")
+    return choice
+
+
 class Incidence:
     """Node-major incidence structures for one placement, built lazily.
 
@@ -129,6 +175,12 @@ class Incidence:
         self._columns = None
         self._suffix_matrix = None
         self._suffix_counts: Optional[List[List[int]]] = None
+        self._object_nodes: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._csr: Optional[Tuple[array, array, array, array]] = None
+        self._suffix_flat: Optional[array] = None
+        self._obj_nodes_np = None
+        self._node_objs_np = None
+        self._top_degree_prefix: Optional[List[List[int]]] = None
 
     # -- bitset structures -------------------------------------------------
 
@@ -211,6 +263,84 @@ class Incidence:
             self._suffix_counts = rows
         return self._suffix_counts
 
+    # -- gain-engine structures ---------------------------------------------
+
+    def object_nodes(self) -> Tuple[Tuple[int, ...], ...]:
+        """For each object, its replica nodes in ascending order."""
+        if self._object_nodes is None:
+            self._object_nodes = tuple(
+                tuple(sorted(nodes)) for nodes in self.placement.replica_sets
+            )
+        return self._object_nodes
+
+    def csr(self) -> Tuple[array, array, array, array]:
+        """Both incidence directions as flat int32 CSR arrays.
+
+        ``(node_off, node_objs, obj_off, obj_nodes)`` — the zero-copy
+        layout shared with the native gain backing (and handy for any
+        future accelerator). Offsets have one trailing sentinel entry.
+        """
+        if self._csr is None:
+            node_off = array("i", [0])
+            node_objs = array("i")
+            for objs in self.node_objects():
+                node_objs.extend(objs)
+                node_off.append(len(node_objs))
+            obj_off = array("i", [0])
+            obj_nodes = array("i")
+            for nodes in self.object_nodes():
+                obj_nodes.extend(nodes)
+                obj_off.append(len(obj_nodes))
+            self._csr = (node_off, node_objs, obj_off, obj_nodes)
+        return self._csr
+
+    def suffix_flat(self) -> array:
+        """:meth:`suffix_counts` flattened row-major for the native bound."""
+        if self._suffix_flat is None:
+            flat = array("i", bytes(4 * self.b * (self.n + 1)))
+            stride = self.n + 1
+            for obj_id, row in enumerate(self.suffix_counts()):
+                flat[obj_id * stride:(obj_id + 1) * stride] = array("i", row)
+            self._suffix_flat = flat
+        return self._suffix_flat
+
+    def object_nodes_matrix(self):
+        """``(b, r)`` int64 matrix of replica nodes (numpy gain backing)."""
+        if self._obj_nodes_np is None:
+            self._obj_nodes_np = _np.array(
+                self.object_nodes(), dtype=_np.intp
+            ).reshape(self.b, self.placement.r)
+        return self._obj_nodes_np
+
+    def node_objects_arrays(self):
+        """Per-node object-id index arrays (numpy gain backing)."""
+        if self._node_objs_np is None:
+            self._node_objs_np = [
+                _np.array(objs, dtype=_np.intp) for objs in self.node_objects()
+            ]
+        return self._node_objs_np
+
+    def top_degree_sum(self, start: int, slots: int) -> int:
+        """Max total load of any ``slots`` distinct nodes with id >= start.
+
+        Static per placement. Bounds how many *object incidences* a
+        completion drawn from the suffix can add, and therefore (since a
+        not-yet-dead object needs at least one added incidence to die) how
+        many objects it can newly kill — the cap used by
+        :meth:`DamageKernel.refined_bound`.
+        """
+        if self._top_degree_prefix is None:
+            loads = self.placement.load_profile()
+            table = []
+            for j in range(self.n + 1):
+                prefix = [0]
+                for load in sorted(loads[j:], reverse=True):
+                    prefix.append(prefix[-1] + load)
+                table.append(prefix)
+            self._top_degree_prefix = table
+        prefix = self._top_degree_prefix[start]
+        return prefix[min(max(slots, 0), len(prefix) - 1)]
+
 
 class DamageKernel:
     """Incremental damage evaluation bound to one (placement, s) pair.
@@ -270,8 +400,69 @@ class DamageKernel:
         Counts objects that are dead already or still killable: deficit
         (replicas to reach ``s``) at most ``slots`` *and* reachable among
         the not-yet-considered nodes. Used by branch-and-bound pruning.
+        This bound is backend-independent by contract (the property tests
+        pin it); backend-specific tightenings go in :meth:`refined_bound`.
         """
         raise NotImplementedError
+
+    def refined_bound(self, hits, start: int, slots: int) -> int:
+        """The tightest sound completion bound this kernel can offer.
+
+        Combines :meth:`optimistic_bound` with the degree cap: every
+        not-yet-dead object needs at least one added incidence to die, so
+        a completion of ``slots`` nodes from the suffix kills at most
+        ``top_degree_sum(start, slots)`` new objects. Backends with more
+        state may tighten further (the gain kernel resolves one-slot
+        completions exactly), so unlike ``optimistic_bound`` the value may
+        differ between backends — it only has to stay sound.
+        """
+        bound = self.optimistic_bound(hits, start, slots)
+        cap = self.damage_of(hits) + self.incidence.top_degree_sum(start, slots)
+        return cap if cap < bound else bound
+
+    def try_swap(self, hits, node: int, banned, current: int):
+        """One local-search polish position: swap ``node`` out if it pays.
+
+        Removes ``node``, finds the best non-banned replacement, keeps it
+        iff the resulting damage strictly beats ``current``, and restores
+        ``node`` otherwise. ``banned`` must not contain ``node`` (so the
+        no-op swap is a legal candidate). Returns
+        ``(hits, swapped_in_node_or_None, resulting_damage)``; backends
+        with fused state (the native gain backing) override this to run
+        the whole position in one call.
+        """
+        hits = self.remove_node(hits, node)
+        candidate, damage = self.best_addition(hits, banned)
+        if damage > current:
+            hits = self.add_node(hits, candidate)
+            return hits, candidate, damage
+        hits = self.add_node(hits, node)
+        return hits, None, current
+
+    def polish_pass(self, hits, nodes: List[int], current: int):
+        """One steepest-positional local-search sweep over ``nodes``.
+
+        Runs :meth:`try_swap` at every position in order, mutating
+        ``nodes`` in place as swaps land. Returns
+        ``(hits, resulting_damage, improved)``. The native gain backing
+        overrides this to run the whole sweep in one foreign call;
+        semantics (visit order, tie-breaks, strict-improvement rule) are
+        identical everywhere, so search trajectories stay
+        backend-independent.
+        """
+        banned = set(nodes)
+        improved = False
+        for position in range(len(nodes)):
+            node = nodes[position]
+            banned.discard(node)
+            hits, swapped, current = self.try_swap(hits, node, banned, current)
+            if swapped is not None:
+                nodes[position] = swapped
+                banned.add(swapped)
+                improved = True
+            else:
+                banned.add(node)
+        return hits, current, improved
 
 
 class _BitsetHits:
@@ -465,22 +656,437 @@ class PythonKernel(DamageKernel):
         return count
 
 
+class _GainHits:
+    """Mutable gain-engine state: hit counts, gain table, dead counter."""
+
+    __slots__ = ("counts", "gain", "dead")
+
+    def __init__(self, counts, gain, dead: int) -> None:
+        self.counts = counts
+        self.gain = gain
+        self.dead = dead
+
+
+class GainKernel(DamageKernel):
+    """The incremental gain-table engine (pure-python backing).
+
+    State per hits object: ``counts[o]`` (failed replicas of object ``o``),
+    ``gain[v]`` (objects at exactly ``s - 1`` hits that node ``v`` covers,
+    i.e. the marginal damage of failing ``v``), and ``dead`` (objects at
+    ``>= s`` hits). ``add_node``/``remove_node`` walk only the objects
+    incident to the changed node and propagate boundary crossings (counts
+    hitting ``s - 1`` or ``s``) to the ~``r`` incident nodes of each
+    crossing object — O(r^2 * b / n) per move versus the O(n * b) rescans
+    of the full-scan kernels. ``best_addition`` is an O(n) argmax over the
+    table (zero-gain candidates never cost a damage evaluation — the
+    candidate pruning of classic max-coverage local search), and
+    ``damage_of`` is O(1).
+
+    Subclasses swap the *backing* — how state is stored and bulk-rebuilt —
+    without changing results; see the module docstring.
+    """
+
+    name = "gain"
+    backing = "python"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        super().__init__(incidence, s)
+        self.node_objects = incidence.node_objects()
+        self.object_nodes = incidence.object_nodes()
+
+    # -- state ------------------------------------------------------------
+
+    def empty_hits(self) -> _GainHits:
+        counts = [0] * self.b
+        if self.s == 1:
+            gain = [len(objs) for objs in self.node_objects]
+        else:
+            gain = [0] * self.n
+        return _GainHits(counts, gain, 0)
+
+    def add_node(self, hits: _GainHits, node: int) -> _GainHits:
+        s = self.s
+        counts, gain = hits.counts, hits.gain
+        dead = hits.dead
+        object_nodes = self.object_nodes
+        for obj_id in self.node_objects[node]:
+            c = counts[obj_id] + 1
+            counts[obj_id] = c
+            if c == s:
+                dead += 1
+                for w in object_nodes[obj_id]:
+                    gain[w] -= 1
+            elif c == s - 1:
+                for w in object_nodes[obj_id]:
+                    gain[w] += 1
+        hits.dead = dead
+        return hits
+
+    def remove_node(self, hits: _GainHits, node: int) -> _GainHits:
+        s = self.s
+        counts, gain = hits.counts, hits.gain
+        dead = hits.dead
+        object_nodes = self.object_nodes
+        for obj_id in self.node_objects[node]:
+            c = counts[obj_id]
+            counts[obj_id] = c - 1
+            if c == s:
+                dead -= 1
+                for w in object_nodes[obj_id]:
+                    gain[w] += 1
+            elif c == s - 1:
+                for w in object_nodes[obj_id]:
+                    gain[w] -= 1
+        hits.dead = dead
+        return hits
+
+    # -- queries -----------------------------------------------------------
+
+    def damage_of(self, hits: _GainHits) -> int:
+        return hits.dead
+
+    def best_addition(self, hits: _GainHits, banned: Sequence[int]) -> Tuple[int, int]:
+        banned_set = (
+            banned if isinstance(banned, (set, frozenset)) else set(banned)
+        )
+        best_node, best_gain = -1, -1
+        for node, g in enumerate(hits.gain):
+            # Gain comparison first: losing candidates (in particular every
+            # zero-gain node once a positive gain is seen) skip the set probe.
+            if g > best_gain and node not in banned_set:
+                best_node, best_gain = node, g
+        if best_node < 0:
+            return -1, -1
+        return best_node, hits.dead + int(best_gain)
+
+    def optimistic_bound(self, hits: _GainHits, start: int, slots: int) -> int:
+        suffix = self.incidence.suffix_counts()
+        s = self.s
+        counts = hits.counts
+        count = 0
+        for obj_id in range(self.b):
+            deficit = s - counts[obj_id]
+            if deficit <= 0:
+                count += 1
+            elif deficit <= slots and suffix[obj_id][start] >= deficit:
+                count += 1
+        return count
+
+    def _max_gain_from(self, hits: _GainHits, start: int) -> int:
+        return max(hits.gain[start:])
+
+    def refined_bound(self, hits: _GainHits, start: int, slots: int) -> int:
+        bound = super().refined_bound(hits, start, slots)
+        if slots == 1 and start < self.n:
+            # One-slot completions are resolved exactly by the gain table:
+            # the best single addition from the suffix adds max gain.
+            exact = self.damage_of(hits) + int(self._max_gain_from(hits, start))
+            if exact < bound:
+                bound = exact
+        return bound
+
+
+class _BitsetGainKernel(GainKernel):
+    """Gain engine with bitset bulk rebuilds (dependency-free).
+
+    Incremental moves share the pure-python O(delta) updates; cold
+    ``hits_for`` builds fold node masks through the saturating level
+    update and read the gain table off ``exactly-(s-1)`` masks with one
+    popcount per node instead of replaying per-object transitions.
+    """
+
+    backing = "bitset"
+
+    def hits_for(self, nodes: Sequence[int]) -> _GainHits:
+        node_list = list(nodes)
+        masks = self.incidence.node_masks()
+        levels = [0] * self.s
+        counts = [0] * self.b
+        node_objects = self.node_objects
+        for node in node_list:
+            _absorb(levels, masks[node])
+            for obj_id in node_objects[node]:
+                counts[obj_id] += 1
+        top = levels[self.s - 1]
+        if self.s == 1:
+            exact = ~top & self.incidence.full_mask()
+        else:
+            exact = levels[self.s - 2] & ~top
+        gain = [(exact & masks[v]).bit_count() for v in range(self.n)]
+        return _GainHits(counts, gain, top.bit_count())
+
+
+class _NumpyGainKernel(GainKernel):
+    """Gain engine on numpy state: scatter updates, vectorized rebuilds."""
+
+    backing = "numpy"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        if _np is None:
+            raise RuntimeError("numpy gain backing requires numpy")
+        super().__init__(incidence, s)
+        self._node_arrays = incidence.node_objects_arrays()
+        self._obj_matrix = incidence.object_nodes_matrix()
+
+    def empty_hits(self) -> _GainHits:
+        counts = _np.zeros(self.b, dtype=_np.int32)
+        if self.s == 1:
+            gain = self.incidence.matrix().sum(axis=0, dtype=_np.int64)
+        else:
+            gain = _np.zeros(self.n, dtype=_np.int64)
+        return _GainHits(counts, gain, 0)
+
+    def hits_for(self, nodes: Sequence[int]) -> _GainHits:
+        node_list = list(nodes)
+        if not node_list:
+            return self.empty_hits()
+        matrix = self.incidence.matrix()
+        counts = matrix[:, node_list].sum(axis=1, dtype=_np.int32)
+        at_target = (counts == self.s - 1).astype(_np.int64)
+        gain = at_target @ matrix  # the vectorized M @ (counts == s-1) rebuild
+        dead = int((counts >= self.s).sum())
+        return _GainHits(counts, gain, dead)
+
+    def add_node(self, hits: _GainHits, node: int) -> _GainHits:
+        objs = self._node_arrays[node]
+        counts = hits.counts
+        c = counts[objs]
+        counts[objs] = c + 1
+        to_dead = objs[c == self.s - 1]
+        if len(to_dead):
+            _np.subtract.at(hits.gain, self._obj_matrix[to_dead].ravel(), 1)
+            hits.dead += int(len(to_dead))
+        if self.s >= 2:
+            to_target = objs[c == self.s - 2]
+            if len(to_target):
+                _np.add.at(hits.gain, self._obj_matrix[to_target].ravel(), 1)
+        return hits
+
+    def remove_node(self, hits: _GainHits, node: int) -> _GainHits:
+        objs = self._node_arrays[node]
+        counts = hits.counts
+        c = counts[objs]
+        counts[objs] = c - 1
+        from_dead = objs[c == self.s]
+        if len(from_dead):
+            _np.add.at(hits.gain, self._obj_matrix[from_dead].ravel(), 1)
+            hits.dead -= int(len(from_dead))
+        if self.s >= 2:
+            from_target = objs[c == self.s - 1]
+            if len(from_target):
+                _np.subtract.at(
+                    hits.gain, self._obj_matrix[from_target].ravel(), 1
+                )
+        return hits
+
+    def best_addition(self, hits: _GainHits, banned: Sequence[int]) -> Tuple[int, int]:
+        banned_set = (
+            banned if isinstance(banned, (set, frozenset)) else set(banned)
+        )
+        best_node, best_gain = -1, -1
+        for node, g in enumerate(hits.gain.tolist()):
+            if g > best_gain and node not in banned_set:
+                best_node, best_gain = node, g
+        if best_node < 0:
+            return -1, -1
+        return best_node, hits.dead + int(best_gain)
+
+    def optimistic_bound(self, hits: _GainHits, start: int, slots: int) -> int:
+        suffix = self.incidence.suffix_matrix()
+        deficit = self.s - hits.counts
+        killable = (deficit <= 0) | (
+            (deficit <= slots) & (suffix[:, start] >= deficit)
+        )
+        return int(killable.sum())
+
+    def _max_gain_from(self, hits: _GainHits, start: int) -> int:
+        return int(hits.gain[start:].max())
+
+
+class _NativeGainHits:
+    """Packed gain state shared zero-copy with the C library.
+
+    One int32 buffer: ``counts`` in ``state[:b]``, the gain table in
+    ``state[b:b + n]``, the dead counter at ``state[b + n]`` — a single
+    allocation and a single pointer per foreign call.
+    """
+
+    __slots__ = ("state", "ptr", "_b", "_n")
+
+    def __init__(self, state: array, b: int, n: int) -> None:
+        self.state = state
+        self.ptr = _native.i32_ptr(state)
+        self._b = b
+        self._n = n
+
+    @property
+    def counts(self) -> array:
+        return self.state[:self._b]
+
+    @property
+    def gain(self) -> array:
+        return self.state[self._b:self._b + self._n]
+
+    @property
+    def dead(self) -> int:
+        return self.state[self._b + self._n]
+
+
+class _NativeGainKernel(GainKernel):
+    """Gain engine with C hot loops (see :mod:`repro.core.native`).
+
+    The fused ``try_swap`` runs a whole polish position — remove, table
+    argmax, conditional re-add — in one foreign call, which is what makes
+    a LocalSearch sweep kernel-bound rather than interpreter-bound.
+    Instances are not thread-safe (they share small scratch buffers);
+    process fan-out via the batch engine is unaffected.
+    """
+
+    backing = "native"
+
+    def __init__(self, incidence: Incidence, s: int) -> None:
+        super().__init__(incidence, s)
+        lib = _native.load()
+        csr = incidence.csr()
+        self._csr = csr  # keep the exported buffers alive
+        node_off, node_objs, obj_off, obj_nodes = csr
+        self._model = _native.ModelStruct(
+            self.n, self.b, s,
+            _native.i32_ptr(node_off), _native.i32_ptr(node_objs),
+            _native.i32_ptr(obj_off), _native.i32_ptr(obj_nodes),
+        )
+        self._model_ref = _native.model_ref(self._model)
+        self._add = lib.gk_add_node
+        self._remove = lib.gk_remove_node
+        self._bulk = lib.gk_bulk_build
+        self._best = lib.gk_best_addition
+        self._swap = lib.gk_try_swap
+        self._pass = lib.gk_polish_pass
+        self._bound = lib.gk_optimistic_bound
+        self._banned = array("i", bytes(4 * self.n))
+        self._banned_ptr = _native.i32_ptr(self._banned)
+        self._out = array("i", [0])
+        self._out_ptr = _native.i32_ptr(self._out)
+        self._suffix_ptr = None
+        # Template for empty state: zero counts, per-node degrees in the
+        # gain slots when s == 1 (every object sits at s - 1 = 0 hits).
+        template = array("i", bytes(4 * (self.b + self.n + 1)))
+        if s == 1:
+            template[self.b:self.b + self.n] = array(
+                "i", [len(objs) for objs in self.node_objects]
+            )
+        self._empty_template = template.tobytes()
+
+    def empty_hits(self) -> _NativeGainHits:
+        return _NativeGainHits(
+            array("i", self._empty_template), self.b, self.n
+        )
+
+    def hits_for(self, nodes: Sequence[int]) -> _NativeGainHits:
+        hits = _NativeGainHits(
+            array("i", bytes(4 * (self.b + self.n + 1))), self.b, self.n
+        )
+        node_arr = array("i", nodes)
+        self._bulk(
+            self._model_ref, _native.i32_ptr(node_arr), len(node_arr), hits.ptr
+        )
+        return hits
+
+    def add_node(self, hits: _NativeGainHits, node: int) -> _NativeGainHits:
+        self._add(self._model_ref, node, hits.ptr)
+        return hits
+
+    def remove_node(self, hits: _NativeGainHits, node: int) -> _NativeGainHits:
+        self._remove(self._model_ref, node, hits.ptr)
+        return hits
+
+    def damage_of(self, hits: _NativeGainHits) -> int:
+        return hits.dead
+
+    def best_addition(self, hits: _NativeGainHits, banned: Sequence[int]) -> Tuple[int, int]:
+        flags = self._banned
+        for node in banned:
+            flags[node] = 1
+        best = self._best(
+            self._model_ref, hits.ptr, self._banned_ptr, self._out_ptr
+        )
+        for node in banned:
+            flags[node] = 0
+        if best < 0:
+            return -1, -1
+        return best, self._out[0]
+
+    def try_swap(self, hits: _NativeGainHits, node: int, banned, current: int):
+        flags = self._banned
+        for banned_node in banned:
+            flags[banned_node] = 1
+        swapped = self._swap(
+            self._model_ref, node, self._banned_ptr, current, hits.ptr,
+            self._out_ptr,
+        )
+        for banned_node in banned:
+            flags[banned_node] = 0
+        if swapped < 0:
+            return hits, None, current
+        return hits, swapped, self._out[0]
+
+    def polish_pass(self, hits: _NativeGainHits, nodes: List[int], current: int):
+        flags = self._banned
+        node_arr = array("i", nodes)
+        for node in nodes:
+            flags[node] = 1
+        improved = self._pass(
+            self._model_ref, hits.ptr, _native.i32_ptr(node_arr),
+            len(node_arr), self._banned_ptr, current, self._out_ptr,
+        )
+        final_nodes = node_arr.tolist()
+        for node in final_nodes:
+            flags[node] = 0
+        if improved:
+            nodes[:] = final_nodes
+            return hits, self._out[0], True
+        return hits, current, False
+
+    def optimistic_bound(self, hits: _NativeGainHits, start: int, slots: int) -> int:
+        if self._suffix_ptr is None:
+            self._suffix_ptr = _native.i32_ptr(self.incidence.suffix_flat())
+        return int(
+            self._bound(
+                self._model_ref, hits.ptr, self._suffix_ptr, start, slots
+            )
+        )
+
+
+_GAIN_KERNELS = {
+    "native": _NativeGainKernel,
+    "numpy": _NumpyGainKernel,
+    "bitset": _BitsetGainKernel,
+    "python": GainKernel,
+}
+
+
 def make_kernel(
     placement: Placement,
     s: int,
     backend: Optional[str] = None,
     incidence: Optional[Incidence] = None,
+    gain_backing: Optional[str] = None,
 ) -> DamageKernel:
     """Build the damage kernel for ``(placement, s)``.
 
     Pass ``incidence`` to share one :class:`Incidence` across several
-    kernels (different ``s``) over the same placement.
+    kernels (different ``s``) over the same placement. ``gain_backing``
+    pins the gain engine's backing (default: ``REPRO_GAIN_BACKING``/auto);
+    it is ignored by the full-scan backends.
     """
     chosen = resolve_backend(backend)
     if incidence is None:
         incidence = Incidence(placement)
     elif incidence.placement is not placement:
         raise ValueError("incidence was built for a different placement")
+    if chosen == "gain":
+        backing = resolve_gain_backing(gain_backing)
+        return _GAIN_KERNELS[backing](incidence, s)
     if chosen == "bitset":
         return BitsetKernel(incidence, s)
     if chosen == "numpy":

@@ -1,0 +1,360 @@
+"""Optional C acceleration for the gain-table damage kernel.
+
+The incremental gain engine (:class:`repro.core.kernels.GainKernel`) spends
+its time in three tiny loops: fold one node's objects into the hit-count
+vector, update the marginal-gain table for objects crossing the ``s - 1``
+or ``s`` boundary, and argmax the gain table. Those loops are pure integer
+index chasing — exactly the shape CPython is worst at and a C compiler is
+best at — so this module compiles them with the system ``cc`` at first use
+and drives them through :mod:`ctypes` over ``array('i')`` buffers.
+
+This is an *accelerator*, not a dependency: no third-party packages, no
+build step at install time. If no working compiler is found (or
+``REPRO_GAIN_BACKING`` pins another backing) the gain kernel silently
+falls back to its numpy or bitset backing with identical results — the
+property tests in ``tests/core/test_kernels.py`` pin all backings to the
+same bit-for-bit behaviour.
+
+Compiled artifacts are cached under a per-user directory (override with
+``REPRO_NATIVE_CACHE``), keyed by a hash of the embedded C source, so the
+compiler runs once per source revision per machine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from array import array
+from typing import Optional
+
+#: The C implementation of the gain-engine hot loops. ``counts`` is the
+#: per-object hit vector, ``gain[v]`` the number of objects exactly one
+#: failure from fatal that node ``v`` covers, ``dead`` the objects already
+#: at >= s hits. ``add``/``remove`` touch only the objects incident to the
+#: changed node (the O(delta) update of the gain-table engine); the fused
+#: ``try_swap`` runs one local-search polish position in a single call.
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+typedef int32_t i32;
+
+typedef struct {
+    i32 n, b, s;
+    const i32 *node_off;   /* n + 1: CSR offsets into node_objs */
+    const i32 *node_objs;  /* objects hosted per node */
+    const i32 *obj_off;    /* b + 1: CSR offsets into obj_nodes */
+    const i32 *obj_nodes;  /* replica nodes per object */
+} gk_model;
+
+/* One hits object is a single packed buffer: counts in state[0..b),
+   the gain table in state[b..b+n), the dead counter at state[b+n].
+   Packing keeps the ctypes surface to one pointer per call. */
+
+void gk_add_node(const gk_model *m, i32 node, i32 *state)
+{
+    const i32 s = m->s;
+    i32 *counts = state, *gain = state + m->b;
+    i32 d = state[m->b + m->n];
+    const i32 lo = m->node_off[node], hi = m->node_off[node + 1];
+    for (i32 i = lo; i < hi; i++) {
+        const i32 o = m->node_objs[i];
+        const i32 c = ++counts[o];
+        if (c == s) {
+            d++;
+            for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                gain[m->obj_nodes[j]]--;
+        } else if (c == s - 1) {
+            for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                gain[m->obj_nodes[j]]++;
+        }
+    }
+    state[m->b + m->n] = d;
+}
+
+void gk_remove_node(const gk_model *m, i32 node, i32 *state)
+{
+    const i32 s = m->s;
+    i32 *counts = state, *gain = state + m->b;
+    i32 d = state[m->b + m->n];
+    const i32 lo = m->node_off[node], hi = m->node_off[node + 1];
+    for (i32 i = lo; i < hi; i++) {
+        const i32 o = m->node_objs[i];
+        const i32 c = counts[o]--;
+        if (c == s) {
+            d--;
+            for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                gain[m->obj_nodes[j]]++;
+        } else if (c == s - 1) {
+            for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                gain[m->obj_nodes[j]]--;
+        }
+    }
+    state[m->b + m->n] = d;
+}
+
+/* Zero the state and fold `count` nodes in — the bulk (re)build. */
+void gk_bulk_build(const gk_model *m, const i32 *nodes, i32 count,
+                   i32 *state)
+{
+    memset(state, 0, (size_t)(m->b + m->n + 1) * sizeof(i32));
+    if (m->s == 1)  /* every object sits at s - 1 = 0 hits: gain = degree */
+        for (i32 v = 0; v < m->n; v++)
+            state[m->b + v] = m->node_off[v + 1] - m->node_off[v];
+    for (i32 i = 0; i < count; i++)
+        gk_add_node(m, nodes[i], state);
+}
+
+/* Highest-gain non-banned node, ties toward the lowest id; returns the
+   node (-1 if everything is banned) and writes the resulting damage. */
+i32 gk_best_addition(const gk_model *m, const i32 *state, const i32 *banned,
+                     i32 *damage_out)
+{
+    const i32 *gain = state + m->b;
+    i32 best_node = -1, best_gain = -1;
+    const i32 n = m->n;
+    for (i32 v = 0; v < n; v++) {
+        if (banned[v]) continue;
+        const i32 g = gain[v];
+        if (g > best_gain) { best_node = v; best_gain = g; }
+    }
+    *damage_out = best_node < 0 ? -1 : state[m->b + n] + best_gain;
+    return best_node;
+}
+
+/* One polish position fused into a single call: remove `u`, find the best
+   non-banned replacement, keep it iff it strictly beats `current`, else
+   restore `u`. `banned` must not flag `u`. Returns the swapped-in node or
+   -1; writes the resulting damage. */
+i32 gk_try_swap(const gk_model *m, i32 u, const i32 *banned, i32 current,
+                i32 *state, i32 *damage_out)
+{
+    gk_remove_node(m, u, state);
+    i32 damage = 0;
+    const i32 v = gk_best_addition(m, state, banned, &damage);
+    if (v >= 0 && damage > current) {
+        gk_add_node(m, v, state);
+        *damage_out = damage;
+        return v;
+    }
+    gk_add_node(m, u, state);
+    *damage_out = current;
+    return -1;
+}
+
+/* One full steepest-positional polish sweep: try_swap at every position
+   in order, updating `nodes` and the banned flags in place. Flags must
+   arrive marking exactly the nodes in `nodes`; they leave marking the
+   final set. Returns 1 iff any position improved; writes the final
+   damage. */
+i32 gk_polish_pass(const gk_model *m, i32 *state, i32 *nodes, i32 k,
+                   i32 *banned, i32 current, i32 *current_out)
+{
+    i32 improved = 0;
+    for (i32 p = 0; p < k; p++) {
+        const i32 u = nodes[p];
+        banned[u] = 0;
+        gk_remove_node(m, u, state);
+        i32 damage = 0;
+        const i32 v = gk_best_addition(m, state, banned, &damage);
+        if (v >= 0 && damage > current) {
+            gk_add_node(m, v, state);
+            nodes[p] = v;
+            banned[v] = 1;
+            current = damage;
+            improved = 1;
+        } else {
+            gk_add_node(m, u, state);
+            banned[u] = 1;
+        }
+    }
+    *current_out = current;
+    return improved;
+}
+
+/* Deficit-based optimistic bound over counts; `suffix` is the flattened
+   b x (n + 1) table of replicas on nodes >= j per object. */
+i32 gk_optimistic_bound(const gk_model *m, const i32 *state,
+                        const i32 *suffix, i32 start, i32 slots)
+{
+    const i32 s = m->s, b = m->b, stride = m->n + 1;
+    i32 killable = 0;
+    for (i32 o = 0; o < b; o++) {
+        const i32 deficit = s - state[o];
+        if (deficit <= 0)
+            killable++;
+        else if (deficit <= slots && suffix[o * stride + start] >= deficit)
+            killable++;
+    }
+    return killable;
+}
+"""
+
+_CC_CANDIDATES = ("cc", "gcc", "clang")
+
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+_load_error: Optional[str] = None
+
+_I32P = ctypes.POINTER(ctypes.c_int32)
+
+
+class ModelStruct(ctypes.Structure):
+    """ctypes mirror of the C ``gk_model``."""
+
+    _fields_ = [
+        ("n", ctypes.c_int32),
+        ("b", ctypes.c_int32),
+        ("s", ctypes.c_int32),
+        ("node_off", _I32P),
+        ("node_objs", _I32P),
+        ("obj_off", _I32P),
+        ("obj_nodes", _I32P),
+    ]
+
+
+def i32_ptr(buffer: array) -> "ctypes._Pointer":
+    """A ``int32*`` view of an ``array('i')`` (zero-copy)."""
+    return ctypes.cast(
+        (ctypes.c_int32 * len(buffer)).from_buffer(buffer), _I32P
+    )
+
+
+def model_ref(model: "ModelStruct"):
+    """A reusable by-reference handle for passing the model struct."""
+    return ctypes.byref(model)
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    if os.path.isabs(xdg):
+        return os.path.join(xdg, "repro-native")
+    # No usable home directory: fall back to a per-user tempdir.
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+
+
+def _assert_private(directory: str) -> None:
+    """Refuse cache directories another local user could have planted.
+
+    Loading a cached ``.so`` executes it, so before trusting one the
+    directory must belong to us and admit no group/other writers — the
+    predictable-path attack on shared machines.
+    """
+    if not hasattr(os, "getuid"):  # pragma: no cover - non-POSIX
+        return
+    info = os.stat(directory)
+    if info.st_uid != os.getuid():
+        raise RuntimeError(
+            f"native cache dir {directory!r} is owned by uid {info.st_uid}, "
+            f"not us; set REPRO_NATIVE_CACHE to a private directory"
+        )
+    if info.st_mode & 0o022:
+        raise RuntimeError(
+            f"native cache dir {directory!r} is group/world-writable; "
+            f"set REPRO_NATIVE_CACHE to a private directory"
+        )
+
+
+def _compile() -> str:
+    """Compile the embedded source, returning the shared-object path.
+
+    The output is cached by source hash; concurrent processes race safely
+    because each compiles to a unique temp name and ``os.replace`` is
+    atomic.
+    """
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    directory = _cache_dir()
+    target = os.path.join(directory, f"gain_kernel_{digest}.so")
+    if os.path.exists(target):
+        _assert_private(directory)
+        return target
+    os.makedirs(directory, mode=0o700, exist_ok=True)
+    _assert_private(directory)
+    source_path = os.path.join(directory, f"gain_kernel_{digest}.c")
+    with open(source_path, "w", encoding="utf-8") as handle:
+        handle.write(_SOURCE)
+    scratch = f"{target}.tmp.{os.getpid()}"
+    last_error = "no C compiler found"
+    for compiler in _CC_CANDIDATES:
+        try:
+            result = subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-o", scratch,
+                 source_path],
+                capture_output=True,
+                timeout=120,
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            last_error = f"{compiler}: {exc}"
+            continue
+        if result.returncode == 0:
+            os.replace(scratch, target)
+            return target
+        last_error = f"{compiler}: {result.stderr.decode(errors='replace')}"
+    raise RuntimeError(f"could not compile native gain kernel: {last_error}")
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    model_p = ctypes.POINTER(ModelStruct)
+    lib.gk_add_node.argtypes = [model_p, ctypes.c_int32, _I32P]
+    lib.gk_add_node.restype = None
+    lib.gk_remove_node.argtypes = lib.gk_add_node.argtypes
+    lib.gk_remove_node.restype = None
+    lib.gk_bulk_build.argtypes = [model_p, _I32P, ctypes.c_int32, _I32P]
+    lib.gk_bulk_build.restype = None
+    lib.gk_best_addition.argtypes = [model_p, _I32P, _I32P, _I32P]
+    lib.gk_best_addition.restype = ctypes.c_int32
+    lib.gk_try_swap.argtypes = [
+        model_p, ctypes.c_int32, _I32P, ctypes.c_int32, _I32P, _I32P
+    ]
+    lib.gk_try_swap.restype = ctypes.c_int32
+    lib.gk_polish_pass.argtypes = [
+        model_p, _I32P, _I32P, ctypes.c_int32, _I32P, ctypes.c_int32, _I32P
+    ]
+    lib.gk_polish_pass.restype = ctypes.c_int32
+    lib.gk_optimistic_bound.argtypes = [
+        model_p, _I32P, _I32P, ctypes.c_int32, ctypes.c_int32
+    ]
+    lib.gk_optimistic_bound.restype = ctypes.c_int32
+    return lib
+
+
+def load() -> ctypes.CDLL:
+    """The compiled library, compiling on first use. Raises on failure."""
+    global _lib, _load_attempted, _load_error
+    if _lib is not None:
+        return _lib
+    if _load_attempted and _load_error is not None:
+        raise RuntimeError(_load_error)
+    _load_attempted = True
+    try:
+        if array("i").itemsize != 4:  # pragma: no cover - exotic platforms
+            raise RuntimeError("array('i') is not 32-bit on this platform")
+        if sys.platform == "win32":  # pragma: no cover - not a target
+            raise RuntimeError("native backing is not supported on Windows")
+        _lib = _bind(ctypes.CDLL(_compile()))
+    except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
+        _load_error = str(exc)
+        raise RuntimeError(_load_error) from None
+    return _lib
+
+
+def available() -> bool:
+    """True iff the native backing can be (or already was) loaded."""
+    try:
+        load()
+    except RuntimeError:
+        return False
+    return True
+
+
+def load_error() -> Optional[str]:
+    """Why the last load failed (None if never attempted or it worked)."""
+    return _load_error

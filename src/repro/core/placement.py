@@ -8,6 +8,7 @@ availability evaluation and cluster simulator consume only this type.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
@@ -125,6 +126,26 @@ class Placement:
     def node_to_objects(self) -> List[List[int]]:
         """Inverse map: for each node, the objects it hosts."""
         return [list(row) for row in self.node_incidence()]
+
+    def fingerprint(self) -> str:
+        """A structural digest: equal iff (n, replica sets) are equal.
+
+        Computed once per placement. The batch engine keys its warm
+        attack-engine cache and result memo on this, so re-snapshotting an
+        unchanged cluster (or reloading the same placement JSON) reuses
+        incidence structures and prior attack results. The strategy label
+        is deliberately excluded — attacks depend only on structure.
+        """
+
+        def build() -> str:
+            digest = hashlib.sha256()
+            digest.update(f"{self.n}:{len(self.replica_sets)}".encode())
+            for nodes in self.replica_sets:
+                digest.update(b"|")
+                digest.update(",".join(map(str, sorted(nodes))).encode())
+            return digest.hexdigest()
+
+        return self._cached("_fingerprint", build)
 
     def failed_objects(self, failed_nodes: Iterable[int], s: int) -> List[int]:
         """Objects with at least ``s`` replicas on ``failed_nodes``."""

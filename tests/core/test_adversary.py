@@ -161,6 +161,105 @@ class TestLocalSearchDeterminism:
         assert warmed.damage >= base.damage
 
 
+class TestEvaluationAccounting:
+    """`evaluations` counts candidate damage evaluations, identically on
+    every backend: greedy step i examines n - i candidates, a polish
+    position n - (k - 1), and warm-start completion only the greedy steps
+    that actually run after dropping duplicate/out-of-range seeds."""
+
+    def test_greedy_charges_candidates_examined(self):
+        p = random_placement(12, 3, 40, 0)
+        result = GreedyAdversary().attack(p, 4, 2)
+        assert result.evaluations == sum(12 - i for i in range(4))
+
+    def test_polish_accounting_pinned(self):
+        # Regression pin: greedy seed (42) plus two polish passes at
+        # k * (n - k + 1) = 36 candidates each. Before the fix each
+        # position was charged the full n regardless of the banned set.
+        p = random_placement(12, 3, 40, 0)
+        base = LocalSearchAdversary(restarts=0, seed=0).attack(p, 4, 2)
+        assert base.evaluations == 114
+        greedy = GreedyAdversary().attack(p, 4, 2)
+        pass_cost = 4 * (12 - 3)
+        assert (base.evaluations - greedy.evaluations) % pass_cost == 0
+
+    def test_accounting_is_backend_independent(self, each_backend):
+        p = random_placement(12, 3, 40, 0)
+        result = LocalSearchAdversary(restarts=2, seed=0).attack(p, 4, 2)
+        assert result.evaluations == 258
+
+    def test_warm_start_duplicates_and_out_of_range(self):
+        # Duplicates and out-of-range nodes are dropped before completion,
+        # so the dirty warm start is *identical* to its cleaned form —
+        # including evaluations (the old accounting charged
+        # n * (k - len(set(warm_start))), which disagreed with the
+        # filtered list whenever the seeds needed cleaning).
+        p = random_placement(12, 3, 40, 0)
+        clean = LocalSearchAdversary(restarts=0, seed=0).attack(
+            p, 4, 2, warm_start=(0, 1)
+        )
+        dirty = LocalSearchAdversary(restarts=0, seed=0).attack(
+            p, 4, 2, warm_start=(0, 0, 99, 1)
+        )
+        assert dirty == clean
+        assert clean.evaluations == 205
+
+    def test_warm_start_longer_than_k_truncated(self):
+        p = random_placement(10, 3, 30, 1)
+        full = LocalSearchAdversary(restarts=0, seed=0).attack(
+            p, 2, 2, warm_start=(5, 3, 8, 1, 2)
+        )
+        truncated = LocalSearchAdversary(restarts=0, seed=0).attack(
+            p, 2, 2, warm_start=(5, 3)
+        )
+        assert full == truncated
+
+
+class TestResultsUnchangedVersusPR1:
+    """best_attack results (nodes, damage, exact) for fixed seeds are
+    bit-for-bit what PR 1's full-scan engines produced — the gain-table
+    rewrite changed the cost of the search, never its trajectory. The
+    literals below were captured by running PR 1's code."""
+
+    PINNED = {
+        ("random-20-3-120", 3, 2): ((3, 8, 19), 12),
+        ("random-20-3-120", 5, 2): ((0, 1, 13, 16, 19), 26),
+        ("random-20-3-120", 4, 3): ((0, 1, 2, 6), 4),
+        ("random-31-3-600", 3, 2): ((7, 17, 21), 24),
+        ("random-31-3-600", 5, 2): ((0, 2, 7, 17, 21), 59),
+        ("random-31-3-600", 4, 3): ((10, 12, 15, 30), 5),
+        ("simple-13-3-26", 3, 2): ((0, 1, 2), 3),
+        ("simple-13-3-26", 5, 2): ((0, 1, 2, 3, 8), 10),
+        ("simple-13-3-26", 4, 3): ((0, 1, 2, 6), 1),
+    }
+
+    @staticmethod
+    def _placements():
+        from repro.core.simple import SimpleStrategy
+
+        return {
+            "random-20-3-120": random_placement(20, 3, 120, 7),
+            "random-31-3-600": random_placement(31, 3, 600, 42),
+            "simple-13-3-26": SimpleStrategy(13, 3, 1).place(26),
+        }
+
+    def test_fast_effort_results_pinned(self, each_backend):
+        placements = self._placements()
+        for (label, k, s), (nodes, dmg) in self.PINNED.items():
+            result = best_attack(placements[label], k, s, effort="fast")
+            assert (tuple(result.nodes), result.damage) == (nodes, dmg), (
+                each_backend, label, k, s, result,
+            )
+
+    def test_exact_effort_damage_unchanged(self, each_backend):
+        # Tighter pruning (refined_bound) may change how much of the tree
+        # branch-and-bound visits, but never the optimum it certifies.
+        p = random_placement(10, 3, 30, 3)
+        result = best_attack(p, 3, 2, effort="exact")
+        assert result.exact
+        assert result.damage == ExhaustiveAdversary().attack(p, 3, 2).damage
+
+
 class TestBudgetDegradation:
     def test_budget_exhaustion_flags_inexact(self):
         p = random_placement(20, 3, 60, 4)

@@ -6,8 +6,18 @@ import pytest
 
 from repro.core.adversary import best_attack, damage
 from repro.core.availability import evaluate_availability_grid
-from repro.core.batch import AttackCell, attack_grid, batch_attack, worker_count
+from repro.core.batch import (
+    AttackCell,
+    attack_cache_default,
+    attack_cache_stats,
+    attack_grid,
+    batch_attack,
+    clear_attack_caches,
+    engine_for,
+    worker_count,
+)
 from repro.core.kernels import BACKENDS, numpy_available
+from repro.core.placement import Placement
 from repro.core.random_placement import RandomStrategy
 from repro.core.simple import SimpleStrategy
 
@@ -115,6 +125,115 @@ class TestAvailabilityGrid:
         for report in reports:
             assert report.available + report.attack.damage == placement.b
             assert report.exact
+
+
+class TestWarmEngine:
+    """The persistent attack pipeline: engines cached per placement
+    structure, attack results memoized per (cell, seed, warm chain)."""
+
+    def setup_method(self):
+        clear_attack_caches()
+
+    def test_engine_shared_across_calls(self):
+        placement = random_placement(12, 3, 40, 20)
+        engine = engine_for(placement)
+        assert engine_for(placement) is engine
+        assert engine.kernel(2) is engine.kernel(2)
+
+    def test_structurally_equal_placements_share_engine(self):
+        placement = random_placement(12, 3, 40, 21)
+        clone = Placement.from_dict(placement.to_dict())
+        assert clone is not placement
+        assert engine_for(clone) is engine_for(placement)
+
+    def test_different_backends_get_different_engines(self):
+        placement = random_placement(12, 3, 40, 22)
+        assert engine_for(placement, "python") is not engine_for(placement, "bitset")
+
+    def test_gain_backing_pin_is_honoured_after_warmup(self, monkeypatch):
+        # Re-pinning REPRO_GAIN_BACKING mid-process must not silently
+        # reuse an engine (and kernels) built under the previous backing.
+        placement = random_placement(12, 3, 40, 30)
+        monkeypatch.setenv("REPRO_GAIN_BACKING", "bitset")
+        warm = engine_for(placement, "gain")
+        assert warm.kernel(2).backing == "bitset"
+        monkeypatch.setenv("REPRO_GAIN_BACKING", "python")
+        pinned = engine_for(placement, "gain")
+        assert pinned is not warm
+        assert pinned.kernel(2).backing == "python"
+
+    def test_repeat_grid_served_from_memo(self):
+        placement = random_placement(14, 3, 50, 23)
+        cells = [AttackCell(k, 2, "fast") for k in (2, 3, 4)]
+        first = batch_attack(placement, cells, seed=9)
+        before = attack_cache_stats()
+        second = batch_attack(placement, cells, seed=9)
+        after = attack_cache_stats()
+        assert second == first
+        assert after["hits"] - before["hits"] == len(cells)
+        assert after["misses"] == before["misses"]
+
+    def test_memo_keyed_on_seed_and_cell(self):
+        placement = random_placement(14, 3, 50, 24)
+        cells = [AttackCell(3, 2, "fast")]
+        batch_attack(placement, cells, seed=1)
+        before = attack_cache_stats()
+        batch_attack(placement, cells, seed=2)  # different derived rng
+        batch_attack(placement, [AttackCell(3, 2, "exact")], seed=1)
+        assert attack_cache_stats()["hits"] == before["hits"]
+
+    def test_cache_argument_disables_memo(self):
+        placement = random_placement(14, 3, 50, 25)
+        cells = [AttackCell(3, 2, "fast")]
+        baseline = batch_attack(placement, cells, seed=4)
+        before = attack_cache_stats()
+        repeat = batch_attack(placement, cells, seed=4, cache=False)
+        after = attack_cache_stats()
+        assert repeat == baseline  # same derived rng, just recomputed
+        assert after == before
+
+    def test_cache_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ATTACK_CACHE", "0")
+        assert not attack_cache_default()
+        placement = random_placement(14, 3, 50, 26)
+        cells = [AttackCell(3, 2, "fast")]
+        batch_attack(placement, cells, seed=5)
+        before = attack_cache_stats()
+        batch_attack(placement, cells, seed=5)
+        assert attack_cache_stats() == before
+        monkeypatch.setenv("REPRO_ATTACK_CACHE", "sometimes")
+        with pytest.raises(ValueError):
+            attack_cache_default()
+
+    def test_caller_rng_bypasses_memo(self):
+        placement = random_placement(14, 3, 50, 27)
+        cells = [AttackCell(3, 2, "fast")]
+        first = batch_attack(placement, cells, rng=random.Random(0))
+        before = attack_cache_stats()
+        second = batch_attack(placement, cells, rng=random.Random(0))
+        after = attack_cache_stats()
+        assert second == first  # identical generator state, recomputed
+        assert after["hits"] == before["hits"]
+
+    def test_multiprocess_results_adopted_into_parent_memo(self):
+        # Worker-computed attacks land in the parent's memo, so repeating
+        # a fanned-out grid is served locally without re-spawning a pool.
+        placement = random_placement(14, 3, 50, 29)
+        cells = [AttackCell(k, s, "fast") for s in (1, 2) for k in (2, 3)]
+        first = batch_attack(placement, cells, workers=2, seed=8)
+        before = attack_cache_stats()
+        second = batch_attack(placement, cells, workers=2, seed=8)
+        assert second == first
+        assert attack_cache_stats()["hits"] - before["hits"] == len(cells)
+
+    def test_memoized_results_match_fresh_engine(self):
+        placement = random_placement(14, 3, 50, 28)
+        cells = [AttackCell(k, s, "fast") for s in (1, 2) for k in (2, 3)]
+        warm = batch_attack(placement, cells, seed=6)
+        warm_again = batch_attack(placement, cells, seed=6)
+        clear_attack_caches()
+        cold = batch_attack(placement, cells, seed=6)
+        assert warm == warm_again == cold
 
 
 class TestWorkerKnob:

@@ -14,20 +14,32 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import native
 from repro.core.adversary import damage
 from repro.core.kernels import (
     BACKENDS,
+    GAIN_BACKINGS,
     Incidence,
     force_backend,
     make_kernel,
     numpy_available,
     resolve_backend,
+    resolve_gain_backing,
 )
 from repro.core.random_placement import RandomStrategy
 
 
 def available_backends():
     return [b for b in BACKENDS if b != "numpy" or numpy_available()]
+
+
+def available_gain_backings():
+    return [
+        backing
+        for backing in GAIN_BACKINGS
+        if (backing != "numpy" or numpy_available())
+        and (backing != "native" or native.available())
+    ]
 
 
 def random_placement(n, r, b, seed):
@@ -150,6 +162,149 @@ class TestOptimisticBound:
             damage(placement, list(base) + list(extra), s) for extra in completions
         )
         assert bounds[0] >= best_completion
+
+
+class TestGainBackings:
+    """Every gain backing agrees bit-for-bit with the full-scan oracles
+    under interleaved add/remove/swap sequences — same damages, same
+    best_addition outcomes (tie-breaks included), same bounds, and bulk
+    rebuilds indistinguishable from replayed incremental updates."""
+
+    @staticmethod
+    def _gain_kernels(placement, s, incidence):
+        return {
+            backing: make_kernel(
+                placement, s, backend="gain", incidence=incidence,
+                gain_backing=backing,
+            )
+            for backing in available_gain_backings()
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(placements, st.data())
+    def test_interleaved_sequences_bit_for_bit(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        moves = data.draw(
+            st.lists(st.integers(0, placement.n - 1), min_size=1, max_size=10)
+        )
+        incidence = Incidence(placement)
+        oracle = make_kernel(placement, s, backend="python", incidence=incidence)
+        kernels = self._gain_kernels(placement, s, incidence)
+        states = {name: kernel.empty_hits() for name, kernel in kernels.items()}
+        oracle_hits = oracle.empty_hits()
+        active = []
+        for node in moves:
+            if node in active:
+                active.remove(node)
+                oracle_hits = oracle.remove_node(oracle_hits, node)
+                for name, kernel in kernels.items():
+                    states[name] = kernel.remove_node(states[name], node)
+            else:
+                active.append(node)
+                oracle_hits = oracle.add_node(oracle_hits, node)
+                for name, kernel in kernels.items():
+                    states[name] = kernel.add_node(states[name], node)
+            expected_damage = oracle.damage_of(oracle_hits)
+            assert expected_damage == damage(placement, active, s)
+            expected_best = oracle.best_addition(oracle_hits, active)
+            for name, kernel in kernels.items():
+                assert kernel.damage_of(states[name]) == expected_damage, name
+                assert kernel.best_addition(states[name], active) == expected_best, name
+        # Bulk rebuilds must be indistinguishable from the incremental path.
+        expected_best = oracle.best_addition(oracle_hits, active)
+        for name, kernel in kernels.items():
+            bulk = kernel.hits_for(active)
+            assert kernel.damage_of(bulk) == oracle.damage_of(oracle_hits), name
+            assert kernel.best_addition(bulk, active) == expected_best, name
+
+    @settings(max_examples=20, deadline=None)
+    @given(placements, st.data())
+    def test_swap_positions_match_full_scan(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        k = data.draw(st.integers(1, min(4, placement.n - 1)))
+        seed_nodes = data.draw(
+            st.permutations(range(placement.n)).map(lambda p: list(p)[:k])
+        )
+        incidence = Incidence(placement)
+        oracle = make_kernel(placement, s, backend="bitset", incidence=incidence)
+        oracle_hits = oracle.hits_for(seed_nodes)
+        current = oracle.damage_of(oracle_hits)
+        banned = set(seed_nodes) - {seed_nodes[0]}
+        _, expected_swap, expected_damage = oracle.try_swap(
+            oracle_hits, seed_nodes[0], banned, current
+        )
+        expected_pass_nodes = list(seed_nodes)
+        pass_hits = oracle.hits_for(seed_nodes)
+        _, expected_pass_damage, expected_improved = oracle.polish_pass(
+            pass_hits, expected_pass_nodes, current
+        )
+        for backing, kernel in self._gain_kernels(placement, s, incidence).items():
+            hits = kernel.hits_for(seed_nodes)
+            _, swapped, dmg = kernel.try_swap(
+                hits, seed_nodes[0], set(seed_nodes) - {seed_nodes[0]}, current
+            )
+            assert (swapped, dmg) == (expected_swap, expected_damage), backing
+            nodes = list(seed_nodes)
+            hits = kernel.hits_for(seed_nodes)
+            _, pass_damage, improved = kernel.polish_pass(hits, nodes, current)
+            assert nodes == expected_pass_nodes, backing
+            assert (pass_damage, improved) == (
+                expected_pass_damage, expected_improved,
+            ), backing
+
+    @settings(max_examples=15, deadline=None)
+    @given(placements, st.data())
+    def test_refined_bound_sound_and_at_most_optimistic(self, placement, data):
+        s = data.draw(st.integers(1, placement.r))
+        n = placement.n
+        start = data.draw(st.integers(0, n))
+        slots = data.draw(st.integers(1, 3))
+        base_size = data.draw(st.integers(0, 2))
+        base = data.draw(
+            st.permutations(range(n)).map(lambda p: list(p)[:base_size])
+        )
+        best_completion = max(
+            damage(placement, list(base) + list(extra), s)
+            for count in range(min(slots, n - start) + 1)
+            for extra in itertools.combinations(range(start, n), count)
+        )
+        incidence = Incidence(placement)
+        for name in available_backends():
+            kernel = make_kernel(placement, s, backend=name, incidence=incidence)
+            hits = kernel.hits_for(base)
+            refined = kernel.refined_bound(hits, start, slots)
+            assert refined <= kernel.optimistic_bound(hits, start, slots), name
+            assert refined >= best_completion, (name, refined, best_completion)
+
+    def test_backing_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GAIN_BACKING", "python")
+        assert resolve_gain_backing() == "python"
+        placement = random_placement(8, 3, 12, 0)
+        assert make_kernel(placement, 2, backend="gain").backing == "python"
+        monkeypatch.setenv("REPRO_GAIN_BACKING", "warp-drive")
+        with pytest.raises(ValueError):
+            resolve_gain_backing()
+
+    def test_explicit_backing_argument_wins(self):
+        placement = random_placement(8, 3, 12, 0)
+        for backing in available_gain_backings():
+            kernel = make_kernel(
+                placement, 2, backend="gain", gain_backing=backing
+            )
+            assert kernel.name == "gain"
+            assert kernel.backing == backing
+
+    def test_auto_backing_is_dependency_free(self):
+        # Whatever auto resolves to must be importable here and now.
+        assert resolve_gain_backing() in GAIN_BACKINGS
+
+    def test_unavailable_backing_rejected(self):
+        if not native.available():  # pragma: no cover - compiler-less envs
+            with pytest.raises(ValueError):
+                resolve_gain_backing("native")
+        if not numpy_available():  # pragma: no cover - no-numpy CI leg
+            with pytest.raises(ValueError):
+                resolve_gain_backing("numpy")
 
 
 class TestSelection:
