@@ -1,74 +1,63 @@
 #!/usr/bin/env python3
-"""Adaptive placement under object churn — the paper's future-work item.
+"""A cluster lifetime under churn, failures, and a recurring adversary.
 
 Sec. IV-D of the paper leaves "an algorithm to adapt our placements as new
 objects come and go" to future work. The library implements one
-(:class:`repro.AdaptiveComboPlacement`): packing blocks are recycled
-through free lists so departures don't strand packing capacity, and a
-periodically-refreshed DP plan steers arrivals into strata.
+(:class:`repro.AdaptiveComboPlacement`) and a discrete-event simulator
+(:mod:`repro.sim`) that drives it through a whole cluster lifetime:
 
-This example drives 400 churn events (60% arrivals) against a 31-node
-cluster, measuring after every 25 events:
+* objects arrive and depart on a biased churn trace (60% arrivals);
+* random node crashes repair after a fixed downtime, with a *lazy*
+  re-replication policy that absorbs fast recoveries without moving data
+  (so the Lemma-3 packing certificate stays valid);
+* a worst-case adversary strikes every 16 time units, re-planning against
+  the current population through one warm delta-aware attack engine
+  (``AttackEngine.apply_delta`` absorbs the churn between strikes in
+  O(changed replicas) — no per-strike rebuild).
 
-* the live object count,
-* worst-case availability under k = 3 targeted failures,
-* the Lemma-3 lower bound implied by the lambda actually paid so far.
-
-The bound must never be violated — that is the adaptive invariant.
+The adaptive invariant: every *certified* strike must leave at least the
+Lemma-3 floor implied by the packing multiplicity actually paid. The
+simulator records exactly that, and this example asserts it.
 
 Run:  python examples/adaptive_churn.py
+      REPRO_EXAMPLE_SCALE=small python examples/adaptive_churn.py  # CI smoke
 """
 
-import random
+import os
 
-from repro import AdaptiveComboPlacement, evaluate_availability
-from repro.cluster import churn_trace
-from repro.cluster.workload import ChurnKind
-from repro.util.tables import TextTable
+from repro.analysis.timeseries import render_report
+from repro.sim import SimConfig, LifetimeSimulator
 
-N, R, S, K = 31, 3, 2, 3
+SMALL = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "small"
 
 
 def main() -> None:
-    adaptive = AdaptiveComboPlacement(
-        N, R, S, K, expected_objects=64, replan_interval=32
+    config = SimConfig(
+        n=31, r=3, s=2, k=3,
+        events=400 if SMALL else 2500,
+        seed=2015,
+        racks=4,
+        arrival_probability=0.6,
+        warmup_arrivals=50,
+        failure_rate=0.02,
+        repair_time=6.0,
+        strike_period=16.0,
+        measure_period=8.0,
+        repair="lazy",
+        repair_grace=10.0,
+        replan_interval=32,
     )
-    rng = random.Random(2015)
-    live: list = []
-    table = TextTable(
-        ["event", "live objects", "worst-case avail", "Lemma-3 bound",
-         "paid lambdas", "bound ok"],
-        title=f"Adaptive Combo under churn (n={N}, r={R}, s={S}, k={K})",
+    report = LifetimeSimulator(config).run()
+    print(render_report(report))
+
+    certified = report.certified_strikes()
+    violations = report.bound_violations()
+    print(
+        f"\nCertified strikes: {certified}/{len(report.strikes)}; "
+        f"Lemma-3 violations: {violations} (must be 0)"
     )
-
-    events = churn_trace(400, arrival_probability=0.6, warmup_arrivals=50,
-                         rng=random.Random(1))
-    violations = 0
-    for step, event in enumerate(events):
-        if event.kind == ChurnKind.ARRIVAL:
-            live.append(adaptive.add_object())
-        elif live:
-            adaptive.remove_object(live.pop(rng.randrange(len(live))))
-        if live and step % 25 == 24:
-            placement = adaptive.placement()
-            report = evaluate_availability(placement, K, S, effort="auto")
-            bound = adaptive.lower_bound()
-            ok = report.available >= bound
-            violations += 0 if ok else 1
-            table.add_row(
-                [
-                    step + 1,
-                    placement.b,
-                    report.available,
-                    bound,
-                    str(adaptive.current_lambdas()),
-                    "yes" if ok else "VIOLATED",
-                ]
-            )
-
-    print(table.render())
-    print(f"\nBound violations: {violations} (must be 0)")
     assert violations == 0
+    assert report.strikes, "expected the adversary to fire"
 
 
 if __name__ == "__main__":

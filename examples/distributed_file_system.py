@@ -15,6 +15,7 @@ three failure modes:
 Run:  python examples/distributed_file_system.py
 """
 
+import os
 import random
 import statistics
 
@@ -29,7 +30,9 @@ from repro.cluster import (
 from repro.designs.catalog import Existence
 from repro.util.tables import TextTable
 
-N, B, R, RACKS = 257, 2400, 3, 16
+SMALL = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "small"
+N, B, RACKS = (71, 600, 8) if SMALL else (257, 2400, 16)
+R = 3
 RULE = majority_quorum_rule(R)  # s = 2
 K = 5
 

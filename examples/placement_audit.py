@@ -17,10 +17,13 @@ objects.
 Run:  python examples/placement_audit.py
 """
 
+import os
 import random
 
 from repro import Placement, RandomStrategy, audit_placement, best_attack
 from repro.core.inspect import expected_random_multiplicity
+
+SMALL = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "small"
 
 
 def buggy_allocator(n: int, b: int, r: int, seed: int) -> Placement:
@@ -37,7 +40,7 @@ def buggy_allocator(n: int, b: int, r: int, seed: int) -> Placement:
 
 
 def main() -> None:
-    n, b, r, s, k = 31, 600, 3, 2, 3
+    n, b, r, s, k = 31, (200 if SMALL else 600), 3, 2, 3
 
     suspect = buggy_allocator(n, b, r, seed=9)
     healthy = RandomStrategy(n, r).place(b, random.Random(9))

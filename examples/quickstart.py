@@ -14,6 +14,7 @@ The 60-second tour of the library:
 Run:  python examples/quickstart.py
 """
 
+import os
 import random
 
 from repro import (
@@ -24,9 +25,11 @@ from repro import (
 )
 from repro.designs.catalog import Existence
 
+SMALL = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "small"
+
 
 def main() -> None:
-    n, b, r, s, k = 71, 1200, 3, 2, 3
+    n, b, r, s, k = 71, (300 if SMALL else 1200), 3, 2, 3
     print(f"System: n={n} nodes, b={b} objects, r={r} replicas, "
           f"objects die at s={s} replica failures, adversary kills k={k} nodes\n")
 

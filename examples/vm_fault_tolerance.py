@@ -17,12 +17,15 @@ picking hosts to power off):
 Run:  python examples/vm_fault_tolerance.py
 """
 
+import os
 import random
 
 from repro import ComboStrategy, Placement, RandomStrategy
 from repro.cluster import Cluster, WorstCaseInjector, read_one_rule
 from repro.designs.catalog import Existence
 from repro.util.tables import TextTable
+
+SMALL = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "small"
 
 
 def naive_adjacent_pairs(n: int, b: int) -> Placement:
@@ -45,9 +48,9 @@ def attack(placement: Placement, k: int, rule) -> int:
 
 
 def main() -> None:
-    n, b, r = 31, 600, 2
+    n, b, r = 31, (150 if SMALL else 600), 2
     rule = read_one_rule(r)  # VM dies only if BOTH replicas die (s = 2)
-    k_values = (2, 3, 4, 5)
+    k_values = (2, 3) if SMALL else (2, 3, 4, 5)
 
     combo = ComboStrategy(n, r, rule.s, tier=Existence.CONSTRUCTIBLE)
     placements = {

@@ -25,6 +25,7 @@ paper-to-module map.
 from repro.core import (
     AdaptiveComboPlacement,
     AttackCell,
+    AttackEngine,
     AttackResult,
     AvailabilityReport,
     BranchAndBoundAdversary,
@@ -64,12 +65,14 @@ from repro.core import (
     simple_capacity,
     theorem1_constants,
 )
+from repro.sim import LifetimeSimulator, SimConfig, SimReport, simulate
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveComboPlacement",
     "AttackCell",
+    "AttackEngine",
     "AttackResult",
     "AvailabilityReport",
     "BranchAndBoundAdversary",
@@ -79,10 +82,13 @@ __all__ = [
     "ExhaustiveAdversary",
     "GreedyAdversary",
     "Incidence",
+    "LifetimeSimulator",
     "LocalSearchAdversary",
     "Placement",
     "PlacementError",
     "RandomStrategy",
+    "SimConfig",
+    "SimReport",
     "SimpleStrategy",
     "Subsystem",
     "SystemParams",
@@ -108,5 +114,6 @@ __all__ = [
     "select_combo_subsystems",
     "select_subsystem",
     "simple_capacity",
+    "simulate",
     "theorem1_constants",
 ]

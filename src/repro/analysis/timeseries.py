@@ -1,0 +1,158 @@
+"""Rendering simulator time series as terminal plots and tables.
+
+The lifetime simulator (:mod:`repro.sim`) emits a
+:class:`~repro.sim.report.SimReport`; this module turns it into the same
+dependency-free artifacts the figure generators produce — ascii line
+plots (:mod:`repro.util.asciiplot`) for the availability / population /
+backlog curves, a strike table pitting attack damage against the live
+Lemma-3 floor, and a one-screen summary. ``repro simulate`` prints
+exactly this rendering.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.report import SimReport
+from repro.util.asciiplot import Series, line_plot
+from repro.util.tables import TextTable
+
+
+def availability_plot(report: SimReport, width: int = 60, height: int = 12) -> str:
+    """Availability fraction over time, with the Lemma-3 floor overlaid.
+
+    The floor series divides each strike's certified lower bound by the
+    live population at strike time; once re-replication voids the
+    certificate the floor series stops (no certified guarantee exists to
+    draw).
+    """
+    if not report.samples:
+        return "(no samples; enable measure_period)"
+    series = [
+        Series.from_pairs(
+            "availability",
+            [(s.time, s.availability) for s in report.samples],
+        )
+    ]
+    floor = [
+        (strike.time, strike.lower_bound / strike.live_objects)
+        for strike in report.strikes
+        if strike.certified and strike.live_objects
+    ]
+    if floor:
+        series.append(Series.from_pairs("lemma3 floor", floor))
+    strike_fraction = [
+        (strike.time, strike.available / strike.live_objects)
+        for strike in report.strikes
+        if strike.live_objects
+    ]
+    if strike_fraction:
+        series.append(Series.from_pairs("strike survivors", strike_fraction))
+    return line_plot(
+        series,
+        width=width,
+        height=height,
+        title=(
+            f"Availability over time (n={report.n}, r={report.r}, "
+            f"s={report.s}, k={report.k})"
+        ),
+        x_label="time",
+        y_min=0.0,
+        y_max=1.0,
+    )
+
+
+def population_plot(report: SimReport, width: int = 60, height: int = 10) -> str:
+    """Live objects and the repair backlog on one time axis."""
+    if not report.samples:
+        return "(no samples; enable measure_period)"
+    series = [
+        Series.from_pairs(
+            "live objects", [(s.time, s.live_objects) for s in report.samples]
+        ),
+        Series.from_pairs(
+            "repair backlog",
+            [(s.time, s.repair_backlog) for s in report.samples],
+        ),
+    ]
+    return line_plot(
+        series,
+        width=width,
+        height=height,
+        title="Population and repair backlog",
+        x_label="time",
+        y_min=0.0,
+    )
+
+
+def strike_table(report: SimReport, limit: int = 12) -> str:
+    """The worst strikes: damage vs the Lemma-3 floor, certification noted."""
+    if not report.strikes:
+        return "(no strikes; enable strike_period)"
+    table = TextTable(
+        ["time", "live", "damage", "available", "lemma3 floor", "certified",
+         "floor held"],
+        title=f"Adversary strikes (worst {min(limit, len(report.strikes))} "
+              f"of {len(report.strikes)} by survivor fraction)",
+    )
+    ranked = sorted(
+        report.strikes,
+        key=lambda strike: (
+            strike.available / strike.live_objects
+            if strike.live_objects else 1.0
+        ),
+    )
+    for strike in ranked[:limit]:
+        table.add_row(
+            [
+                round(strike.time, 2),
+                strike.live_objects,
+                strike.damage,
+                strike.available,
+                strike.lower_bound if strike.certified else None,
+                "yes" if strike.certified else "no",
+                ("yes" if not strike.violates_bound else "VIOLATED")
+                if strike.certified else "-",
+            ]
+        )
+    return table.render()
+
+
+def summary_table(report: SimReport) -> str:
+    """One-screen run summary: shape, throughput, extremes, certification."""
+    table = TextTable(["metric", "value"], title="Lifetime summary")
+    rows: List[tuple] = [
+        ("engine mode", report.engine_mode),
+        ("events handled", report.events),
+        ("sim end time", round(report.end_time, 2)),
+        ("wall seconds", round(report.wall_seconds, 3)),
+        ("events/sec", round(report.events_per_sec, 1)),
+        ("samples", len(report.samples)),
+        ("strikes", len(report.strikes)),
+        ("certified strikes", report.certified_strikes()),
+        ("min availability", round(report.min_availability(), 4)),
+        ("max repair backlog", report.max_backlog()),
+        ("Lemma-3 violations", report.bound_violations()),
+    ]
+    worst = report.worst_strike()
+    if worst is not None and worst.live_objects:
+        rows.append(
+            ("worst strike", f"t={worst.time:g}: {worst.damage}/"
+             f"{worst.live_objects} objects killed")
+        )
+    for kind, count in sorted(report.event_counts.items()):
+        rows.append((f"events[{kind}]", count))
+    for name, value in rows:
+        table.add_row([name, value])
+    return table.render()
+
+
+def render_report(report: SimReport, width: int = 60) -> str:
+    """The full terminal rendering: summary, plots, strike table."""
+    parts = [
+        summary_table(report),
+        availability_plot(report, width=width),
+        population_plot(report, width=width),
+        strike_table(report),
+    ]
+    return "\n\n".join(parts)

@@ -1,13 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's workflows without writing Python:
+The commands cover the library's workflows without writing Python:
 
 * ``figure``   — regenerate one of the paper's figures/tables as text;
 * ``place``    — compute a placement (combo/simple/random) and print or
   save it as JSON;
 * ``attack``   — run the worst-case adversary against a saved placement;
+* ``simulate`` — run the discrete-event cluster lifetime simulator
+  (churn + failures + repair + a recurring online adversary) and render
+  its time series;
 * ``bounds``   — compare the Combo guarantee against Random's probable
   availability for a parameter point (one Fig. 9 cell);
+* ``audit``    — measure a placement's overlaps and certify floors;
 * ``catalog``  — query the design-existence catalog.
 """
 
@@ -79,6 +83,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="always search, skipping the warm attack-result "
                         "memo (default: $REPRO_ATTACK_CACHE/on)")
 
+    simulate = commands.add_parser(
+        "simulate",
+        help="discrete-event cluster lifetime simulation (repro.sim)",
+    )
+    simulate.add_argument("--n", type=int, default=31, help="number of nodes")
+    simulate.add_argument("--r", type=int, default=3, help="replicas per object")
+    simulate.add_argument("--s", type=int, default=2, help="fatality threshold")
+    simulate.add_argument("--k", type=int, default=3,
+                          help="nodes per adversary strike")
+    simulate.add_argument("--events", type=int, default=2000,
+                          help="event budget (churn, failures, strikes, ...)")
+    simulate.add_argument("--seed", type=int, default=0, help="master seed")
+    simulate.add_argument("--racks", type=int, default=4,
+                          help="failure-domain count")
+    simulate.add_argument("--churn-prob", type=float, default=0.6,
+                          help="arrival probability per churn step")
+    simulate.add_argument("--warmup", type=int, default=64,
+                          help="leading arrivals before mixed churn")
+    simulate.add_argument("--failure-rate", type=float, default=0.02,
+                          help="random node crashes per time unit (0 = off)")
+    simulate.add_argument("--rack-failure-rate", type=float, default=0.0,
+                          help="correlated rack crashes per time unit (0 = off)")
+    simulate.add_argument("--repair-time", type=float, default=8.0,
+                          help="node downtime before recovery")
+    simulate.add_argument("--strike-period", type=float, default=16.0,
+                          help="time between adversary strikes (0 = off)")
+    simulate.add_argument("--measure-period", type=float, default=8.0,
+                          help="time between metric samples (0 = off)")
+    simulate.add_argument("--effort", choices=("fast", "auto", "exact"),
+                          default="fast", help="adversary effort per strike")
+    simulate.add_argument("--kernel",
+                          choices=("auto", "gain", "bitset", "numpy", "python"),
+                          default=None, help="damage-kernel backend")
+    simulate.add_argument("--engine", choices=("delta", "rebuild"),
+                          default="delta",
+                          help="delta-aware warm engine vs per-strike rebuild")
+    simulate.add_argument("--repair", choices=("eager", "lazy", "none"),
+                          default="none", help="re-replication policy")
+    simulate.add_argument("--grace", type=float, default=4.0,
+                          help="lazy-repair grace period")
+    simulate.add_argument("--json", type=str, default=None,
+                          help="also write the full report as JSON here")
+
     bounds = commands.add_parser(
         "bounds", help="Combo guarantee vs Random prediction for one cell"
     )
@@ -114,11 +161,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _run_figure,
         "place": _run_place,
         "attack": _run_attack,
+        "simulate": _run_simulate,
         "audit": _run_audit,
         "bounds": _run_bounds,
         "catalog": _run_catalog,
     }[args.command]
     return handler(args)
+
+
+def _run_simulate(args) -> int:
+    from repro.analysis.timeseries import render_report
+    from repro.sim import LifetimeSimulator, SimConfig
+
+    backend = None if args.kernel in (None, "auto") else args.kernel
+    config = SimConfig(
+        n=args.n, r=args.r, s=args.s, k=args.k,
+        events=args.events, seed=args.seed, racks=args.racks,
+        arrival_probability=args.churn_prob, warmup_arrivals=args.warmup,
+        failure_rate=args.failure_rate,
+        rack_failure_rate=args.rack_failure_rate,
+        repair_time=args.repair_time, strike_period=args.strike_period,
+        measure_period=args.measure_period, effort=args.effort,
+        backend=backend, engine_mode=args.engine, repair=args.repair,
+        repair_grace=args.grace,
+    )
+    report = LifetimeSimulator(config).run()
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote report JSON to {args.json}", file=sys.stderr)
+    return 0
 
 
 def _run_audit(args) -> int:

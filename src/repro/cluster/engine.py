@@ -11,6 +11,7 @@ from repro.cluster.metrics import LoadStats, ScenarioReport
 from repro.cluster.objects import LivenessRule
 from repro.core.batch import AttackCell, batch_attack
 from repro.core.placement import Placement
+from repro.util.rng import derive_rng
 
 
 def run_attack_scenario(
@@ -93,11 +94,22 @@ def run_random_failure_scenario(
     k: int,
     rule: LivenessRule,
     repetitions: int = 20,
+    racks: int = 1,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> List[ScenarioReport]:
-    """Deploy once, fail k random nodes ``repetitions`` times (recovering between)."""
-    rng = rng or random.Random()
-    cluster = Cluster(placement.n)
+    """Deploy once, fail k random nodes ``repetitions`` times (recovering between).
+
+    Parameter parity with :func:`run_attack_scenario`: ``racks`` deploys
+    onto the same rack topology (uniform node draws are rack-oblivious,
+    so it changes no numbers — it exists so callers can swap injectors
+    without reshaping the call) and, with ``rng=None``, the failure
+    draws derive deterministically from ``(seed, k, s)`` — the same
+    derived-seed discipline as the attack scenarios, so repeated runs
+    replay bit-for-bit without threading a generator through.
+    """
+    rng = rng or derive_rng(seed, "random-failures", k, rule.s)
+    cluster = Cluster(placement.n, racks=racks)
     cluster.apply_placement(placement)
     injector = RandomInjector(rng=rng)
     reports = []

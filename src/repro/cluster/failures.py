@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.objects import LivenessRule
-from repro.core.batch import AttackCell, batch_attack
+from repro.core.batch import AttackCell, AttackEngine, engine_for
 
 
 class RandomInjector:
@@ -65,7 +65,7 @@ class CorrelatedInjector:
 class WorstCaseInjector:
     """The paper's adversary: fail the k nodes that disable the most objects.
 
-    Search runs through the batched attack engine; the damage kernel
+    Search runs through the warm attack-engine layer; the damage kernel
     follows the ``REPRO_KERNEL`` knob unless ``backend`` overrides it.
     Cluster snapshots are keyed structurally in the engine's warm cache,
     so re-attacking an unchanged population — the common case in churn
@@ -75,6 +75,17 @@ class WorstCaseInjector:
     (Each injection is a single attack cell, so worker fan-out does not
     apply here — use :func:`repro.cluster.engine.run_attack_grid` to
     evaluate whole k-grids in one batched, parallelizable pass.)
+
+    An *online* adversary — one that re-attacks the same cluster as it
+    mutates — can skip the per-injection snapshot + fingerprint + rebuild
+    entirely by pinning a delta-aware ``engine``
+    (:class:`repro.core.batch.AttackEngine`): the caller keeps the engine
+    aligned with the cluster population via
+    :meth:`~repro.core.batch.AttackEngine.apply_delta` and every
+    injection reuses the warm kernel state. The lifetime simulator
+    (:mod:`repro.sim`) is the canonical such caller. The last search
+    outcome is kept on :attr:`last_result` so drivers can record damage
+    without re-deriving it from cluster state.
     """
 
     def __init__(
@@ -84,27 +95,44 @@ class WorstCaseInjector:
         backend: Optional[str] = None,
         seed: int = 0,
         cache: Optional[bool] = None,
+        engine: Optional[AttackEngine] = None,
     ) -> None:
         self.effort = effort
         self.rng = rng
         self.backend = backend
         self.seed = seed
         self.cache = cache
+        self.engine = engine
+        self.last_result = None
 
-    def select(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
-        placement = cluster.placement_snapshot()
-        [attack] = batch_attack(
-            placement,
-            [AttackCell(k, rule.s, self.effort)],
-            backend=self.backend,
-            rng=self.rng,
+    def select(
+        self,
+        cluster: Cluster,
+        k: int,
+        rule: LivenessRule,
+        warm_start: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        engine = self.engine
+        if engine is None:
+            engine = engine_for(cluster.placement_snapshot(), self.backend)
+        attack = engine.attack(
+            AttackCell(k, rule.s, self.effort),
             seed=self.seed,
+            rng=self.rng,
+            warm_start=warm_start,
             cache=self.cache,
         )
+        self.last_result = attack
         return sorted(attack.nodes)
 
-    def inject(self, cluster: Cluster, k: int, rule: LivenessRule) -> List[int]:
-        nodes = self.select(cluster, k, rule)
+    def inject(
+        self,
+        cluster: Cluster,
+        k: int,
+        rule: LivenessRule,
+        warm_start: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        nodes = self.select(cluster, k, rule, warm_start=warm_start)
         cluster.fail_nodes(nodes)
         return nodes
 

@@ -23,7 +23,14 @@ from repro.core.availability import (
     evaluate_availability_grid,
     survivors_under,
 )
-from repro.core.batch import AttackCell, attack_grid, batch_attack, worker_count
+from repro.core.batch import (
+    AttackCell,
+    AttackEngine,
+    attack_grid,
+    batch_attack,
+    engine_for,
+    worker_count,
+)
 from repro.core.bounds import (
     CompetitiveConstants,
     lb_avail_combo,
@@ -50,6 +57,7 @@ from repro.core.params import (
 from repro.core.kernels import (
     BitsetKernel,
     DamageKernel,
+    DeltaIncidence,
     Incidence,
     NumpyKernel,
     PythonKernel,
@@ -81,6 +89,7 @@ from repro.core.subsystems import (
 __all__ = [
     "AdaptiveComboPlacement",
     "AttackCell",
+    "AttackEngine",
     "AttackResult",
     "AvailabilityReport",
     "BitsetKernel",
@@ -90,6 +99,7 @@ __all__ = [
     "ComboStrategy",
     "CompetitiveConstants",
     "DamageKernel",
+    "DeltaIncidence",
     "ExhaustiveAdversary",
     "GreedyAdversary",
     "Incidence",
@@ -114,6 +124,7 @@ __all__ = [
     "capacity_gap",
     "certified_availability",
     "damage",
+    "engine_for",
     "evaluate_availability",
     "evaluate_availability_grid",
     "expected_random_multiplicity",

@@ -20,7 +20,7 @@ packing and Lemma 3 applies with ``lambda_x = mu_x * c_x``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.bounds import lb_avail_combo
 from repro.core.combo import ComboStrategy
@@ -185,6 +185,13 @@ class AdaptiveComboPlacement:
     @property
     def num_objects(self) -> int:
         return len(self._assignments)
+
+    def replica_nodes(self, obj_id: int) -> Tuple[int, ...]:
+        """The node set hosting ``obj_id`` (drivers deploy this on a cluster)."""
+        if obj_id not in self._assignments:
+            raise KeyError(f"unknown object {obj_id}")
+        _x, block = self._assignments[obj_id]
+        return tuple(block)
 
     def placement(self) -> Placement:
         """Snapshot of the live objects as a Placement (ids renumbered)."""

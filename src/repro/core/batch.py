@@ -49,6 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.adversary import AttackResult, best_attack
 from repro.core.kernels import (
     DamageKernel,
+    DeltaIncidence,
     Incidence,
     make_kernel,
     resolve_backend,
@@ -122,17 +123,67 @@ class AttackEngine:
     the process-cached instance instead of constructing directly.
     """
 
-    def __init__(self, placement: Placement, backend: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        placement: Placement,
+        backend: Optional[str] = None,
+        gain_backing: Optional[str] = None,
+    ) -> None:
         self.placement = placement
         self.backend = resolve_backend(backend)
         # Pin the gain backing at construction so lazily built kernels
         # cannot drift from the backing this engine was cached under.
         self.gain_backing = (
-            resolve_gain_backing() if self.backend == "gain" else None
+            resolve_gain_backing(gain_backing)
+            if self.backend == "gain" else None
         )
         self.incidence = Incidence(placement)
         self._kernels: Dict[int, DamageKernel] = {}
         self._memo: "OrderedDict[tuple, AttackResult]" = OrderedDict()
+
+    def apply_delta(
+        self,
+        added_objects: Sequence[Sequence[int]] = (),
+        removed_objects: Sequence[int] = (),
+    ) -> Placement:
+        """Mutate the engine's placement in place and stay warm.
+
+        ``added_objects`` holds replica node sets to append;
+        ``removed_objects`` holds current object ids to drop, under the
+        swap-with-last id semantics of
+        :meth:`~repro.core.kernels.DeltaIncidence.apply_delta`. The
+        incidence upgrades to a :class:`DeltaIncidence` on first use
+        (one O(b) conversion, after which every delta costs O(changed
+        replicas)); kernels that can absorb the mutation rebind in place
+        and the rest rebuild lazily; the attack memo is cleared (results
+        describe the old structure). Returns the resulting placement.
+
+        A mutated engine no longer matches the fingerprint it may have
+        been cached under, so it detaches from the :func:`engine_for`
+        cache — delta engines are private to their driver (the lifetime
+        simulator), while fingerprint lookups keep returning engines that
+        describe what they claim.
+        """
+        upgraded = not isinstance(self.incidence, DeltaIncidence)
+        if upgraded:
+            self.incidence = DeltaIncidence(self.placement)
+        self._detach()
+        self.placement = self.incidence.apply_delta(
+            added_objects, removed_objects
+        )
+        if upgraded:
+            # Pre-upgrade kernels hold the old immutable structures.
+            self._kernels.clear()
+        else:
+            for s in [s for s, k in self._kernels.items() if not k.rebind()]:
+                del self._kernels[s]
+        self._memo.clear()
+        return self.placement
+
+    def _detach(self) -> None:
+        """Drop this engine from the process cache (stale fingerprint key)."""
+        for key in [k for k, eng in _ENGINES.items() if eng is self]:
+            del _ENGINES[key]
 
     def kernel(self, s: int) -> DamageKernel:
         """The shared damage kernel for threshold ``s`` (built once)."""
@@ -173,6 +224,7 @@ class AttackEngine:
         memo key — eligible for caching. A caller-managed ``rng`` carries
         hidden state, so those calls always search.
         """
+        _validate_cells(self.placement, (cell,))
         use_cache = (
             (attack_cache_default() if cache is None else cache)
             and rng is None

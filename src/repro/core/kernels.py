@@ -52,7 +52,7 @@ from __future__ import annotations
 import os
 from array import array
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import native as _native
 from repro.core.placement import Placement
@@ -273,12 +273,17 @@ class Incidence:
             )
         return self._object_nodes
 
-    def csr(self) -> Tuple[array, array, array, array]:
+    def csr(self) -> Tuple[array, array, array, array, array]:
         """Both incidence directions as flat int32 CSR arrays.
 
-        ``(node_off, node_objs, obj_off, obj_nodes)`` — the zero-copy
-        layout shared with the native gain backing (and handy for any
-        future accelerator). Offsets have one trailing sentinel entry.
+        ``(node_off, node_end, node_objs, obj_off, obj_nodes)`` — the
+        zero-copy layout shared with the native gain backing (and handy
+        for any future accelerator). Node segment ``v`` spans
+        ``node_objs[node_off[v]:node_end[v]]``; the split start/end
+        arrays exist so :class:`DeltaIncidence` can leave slack between
+        segments and absorb churn in place. Here the layout is tight
+        (``node_end[v] == node_off[v + 1]``) and object offsets carry one
+        trailing sentinel.
         """
         if self._csr is None:
             node_off = array("i", [0])
@@ -286,12 +291,13 @@ class Incidence:
             for objs in self.node_objects():
                 node_objs.extend(objs)
                 node_off.append(len(node_objs))
+            node_end = node_off[1:]
             obj_off = array("i", [0])
             obj_nodes = array("i")
             for nodes in self.object_nodes():
                 obj_nodes.extend(nodes)
                 obj_off.append(len(obj_nodes))
-            self._csr = (node_off, node_objs, obj_off, obj_nodes)
+            self._csr = (node_off, node_end, node_objs, obj_off, obj_nodes)
         return self._csr
 
     def suffix_flat(self) -> array:
@@ -342,6 +348,238 @@ class Incidence:
         return prefix[min(max(slots, 0), len(prefix) - 1)]
 
 
+class DeltaIncidence(Incidence):
+    """A mutable incidence that absorbs object churn in place.
+
+    The immutable :class:`Incidence` is rebuilt from scratch for every new
+    placement; under churn that rebuild (plus the placement snapshot and
+    fingerprint hashing feeding it) dominates the cost of re-attacking.
+    This subclass instead keeps the core per-node/per-object structures —
+    node bitmasks, node -> objects lists, object -> nodes tuples, the load
+    profile — as mutable state and edits only the changed objects'
+    entries per :meth:`apply_delta` (removals pay an extra O(node load)
+    scan per incident node to locate the id being deleted or relabeled,
+    so a delta costs O(changed replicas x avg incident load) — still
+    independent of ``b * n``); the lazy aggregates (suffix tables, dense
+    matrices) are invalidated and rebuilt on next use, which only search
+    paths that consume them (branch-and-bound bounds, packed backings)
+    ever pay for.
+
+    Delta semantics, shared verbatim by every mirror of the object-id
+    space (:class:`repro.core.batch.AttackEngine` callers track ids too):
+
+    * removals are processed in **descending id order**; removing id ``d``
+      moves the **last** object into slot ``d`` (swap-with-last keeps ids
+      dense, so bitmask width and hit-vector length stay ``b``);
+    * additions are appended in iteration order after all removals.
+
+    Attack results are invariant under object re-numbering (damage counts
+    and per-node gains aggregate over objects), so a delta-updated engine
+    and a cold engine built from the resulting placement return
+    bit-for-bit identical :class:`~repro.core.adversary.AttackResult`\\ s
+    — the property pinned by ``tests/core/test_delta.py``.
+    """
+
+    def __init__(self, placement: Placement) -> None:
+        super().__init__(placement)
+        self.r = placement.r
+        self._replica_sets: List[FrozenSet[int]] = list(placement.replica_sets)
+        self._node_objs: List[List[int]] = [
+            list(row) for row in placement.node_incidence()
+        ]
+        self._obj_nodes: List[Tuple[int, ...]] = [
+            tuple(sorted(nodes)) for nodes in placement.replica_sets
+        ]
+        self._loads: List[int] = list(placement.load_profile())
+        masks = [0] * self.n
+        for obj_id, nodes in enumerate(self._obj_nodes):
+            bit = 1 << obj_id
+            for node in nodes:
+                masks[node] |= bit
+        self._masks = masks
+        self._node_caps: Optional[List[int]] = None
+
+    # Live views: kernels bound to this incidence hold these list objects
+    # directly, so in-place edits propagate without rebinding.
+
+    def node_masks(self) -> List[int]:
+        return self._masks
+
+    def node_objects(self) -> List[List[int]]:  # type: ignore[override]
+        return self._node_objs
+
+    def object_nodes(self) -> List[Tuple[int, ...]]:  # type: ignore[override]
+        return self._obj_nodes
+
+    def csr(self) -> Tuple[array, array, array, array, array]:
+        """A *padded* CSR export, edited in place across deltas.
+
+        Unlike the base tight layout, node segments carry slack capacity
+        and the object-major arrays are sized past the current ``b``, so
+        :meth:`apply_delta` updates O(changed replicas) words instead of
+        re-flattening everything — the arrays are pinned by the native
+        kernel's exported pointers (``array`` refuses to resize while a
+        buffer view exists), so they are never resized, only replaced
+        wholesale when a segment or the object region overflows its
+        capacity (amortized by the headroom). Consumers must bound reads
+        by the live ``b`` and the ``node_end`` entries; words beyond are
+        garbage.
+        """
+        if self._csr is None:
+            from itertools import chain
+
+            n, r, b = self.n, self.r, self.b
+            cap_b = b + (b >> 1) + 8
+            obj_off = array("i", range(0, (cap_b + 1) * r, r))
+            obj_nodes = array("i", bytes(4 * cap_b * r))
+            obj_nodes[:b * r] = array("i", chain.from_iterable(self._obj_nodes))
+            caps = [
+                len(objs) + (len(objs) >> 1) + 4 for objs in self._node_objs
+            ]
+            node_off = array("i", bytes(4 * n))
+            node_end = array("i", bytes(4 * n))
+            store = array("i", bytes(4 * sum(caps)))
+            position = 0
+            for node, objs in enumerate(self._node_objs):
+                node_off[node] = position
+                store[position:position + len(objs)] = array("i", objs)
+                node_end[node] = position + len(objs)
+                position += caps[node]
+            self._node_caps = caps
+            self._csr = (node_off, node_end, store, obj_off, obj_nodes)
+        return self._csr
+
+    def apply_delta(
+        self,
+        added: Sequence[Sequence[int]] = (),
+        removed: Sequence[int] = (),
+    ) -> Placement:
+        """Absorb one churn batch; returns the resulting placement.
+
+        ``removed`` holds current object ids (distinct, any order);
+        ``added`` holds replica node sets (size ``r``, distinct in-range
+        nodes). Core structures are edited in O(changed replicas); the
+        returned :class:`Placement` is built without re-validation (the
+        delta was validated here) and carries the maintained load profile,
+        so no later consumer pays an O(b r) rescan.
+        """
+        added_sets: List[Tuple[int, ...]] = []
+        for nodes in added:
+            node_tuple = tuple(sorted(nodes))
+            if len(frozenset(node_tuple)) != self.r or len(node_tuple) != self.r:
+                raise ValueError(
+                    f"added object needs {self.r} distinct nodes, got "
+                    f"{sorted(nodes)}"
+                )
+            for node in node_tuple:
+                if not 0 <= node < self.n:
+                    raise ValueError(
+                        f"added object places a replica on node {node}, "
+                        f"outside [0, {self.n})"
+                    )
+            added_sets.append(node_tuple)
+        removed_ids = sorted(removed, reverse=True)
+        if len(set(removed_ids)) != len(removed_ids):
+            raise ValueError(f"duplicate removal ids in {sorted(removed)}")
+        for obj_id in removed_ids:
+            if not 0 <= obj_id < len(self._replica_sets):
+                raise ValueError(
+                    f"cannot remove object {obj_id}: ids span "
+                    f"[0, {len(self._replica_sets)})"
+                )
+        if len(self._replica_sets) - len(removed_ids) + len(added_sets) == 0:
+            raise ValueError("delta would leave the placement empty")
+
+        masks, node_objs, loads = self._masks, self._node_objs, self._loads
+        # The padded CSR export (if built) is edited in lockstep with the
+        # list structures; `csr` goes None mid-batch if a capacity
+        # overflows, after which it rebuilds lazily from the lists.
+        csr = self._csr
+        if csr is not None:
+            node_off, node_end, store, _obj_off, obj_nodes_flat = csr
+            caps = self._node_caps
+        r = self.r
+        for obj_id in removed_ids:
+            bit = 1 << obj_id
+            for node in self._obj_nodes[obj_id]:
+                node_objs[node].remove(obj_id)
+                masks[node] &= ~bit
+                loads[node] -= 1
+                if csr is not None:
+                    tail = node_end[node] - 1
+                    for i in range(node_off[node], tail + 1):
+                        if store[i] == obj_id:
+                            store[i] = store[tail]
+                            break
+                    node_end[node] = tail
+            last = len(self._replica_sets) - 1
+            if obj_id != last:
+                moved = self._obj_nodes[last]
+                last_bit = 1 << last
+                for node in moved:
+                    row = node_objs[node]
+                    row[row.index(last)] = obj_id
+                    masks[node] = (masks[node] & ~last_bit) | bit
+                    if csr is not None:
+                        for i in range(node_off[node], node_end[node]):
+                            if store[i] == last:
+                                store[i] = obj_id
+                                break
+                self._obj_nodes[obj_id] = moved
+                self._replica_sets[obj_id] = self._replica_sets[last]
+                if csr is not None:
+                    obj_nodes_flat[obj_id * r:(obj_id + 1) * r] = (
+                        obj_nodes_flat[last * r:(last + 1) * r]
+                    )
+            self._obj_nodes.pop()
+            self._replica_sets.pop()
+        for node_tuple in added_sets:
+            obj_id = len(self._replica_sets)
+            bit = 1 << obj_id
+            if csr is not None:
+                if (obj_id + 1) * r > len(obj_nodes_flat):
+                    csr = self._csr = None  # object region full; rebuild lazily
+                else:
+                    obj_nodes_flat[obj_id * r:(obj_id + 1) * r] = array(
+                        "i", node_tuple
+                    )
+            for node in node_tuple:
+                node_objs[node].append(obj_id)
+                masks[node] |= bit
+                loads[node] += 1
+                if csr is not None:
+                    end = node_end[node]
+                    if end - node_off[node] >= caps[node]:
+                        csr = self._csr = None  # segment full; rebuild lazily
+                    else:
+                        store[end] = obj_id
+                        node_end[node] = end + 1
+            self._obj_nodes.append(node_tuple)
+            self._replica_sets.append(frozenset(node_tuple))
+
+        self.b = len(self._replica_sets)
+        placement = Placement(
+            n=self.n,
+            replica_sets=tuple(self._replica_sets),
+            strategy=self.placement.strategy,
+        )
+        object.__setattr__(placement, "_load_profile", tuple(loads))
+        self.placement = placement
+        # Lazy aggregates are stale; drop them for on-demand rebuild.
+        # (The padded CSR is NOT dropped — it was maintained above.)
+        self._suffix_masks = None
+        self._matrix = None
+        self._columns = None
+        self._suffix_matrix = None
+        self._suffix_counts = None
+        self._object_nodes = None
+        self._suffix_flat = None
+        self._obj_nodes_np = None
+        self._node_objs_np = None
+        self._top_degree_prefix = None
+        return placement
+
+
 class DamageKernel:
     """Incremental damage evaluation bound to one (placement, s) pair.
 
@@ -361,6 +599,22 @@ class DamageKernel:
         self.s = s
         self.n = placement.n
         self.b = placement.b
+
+    def rebind(self) -> bool:
+        """Re-align with an in-place :meth:`DeltaIncidence.apply_delta`.
+
+        Returns True when this kernel absorbed the mutation — it shares
+        the incidence's live structures and only its cached shape needed
+        refreshing — and False when the caller must rebuild it (packed
+        per-object state that cannot be edited surgically). The default is
+        conservative: rebuild.
+        """
+        return False
+
+    def _refresh_shape(self) -> None:
+        """Adopt the incidence's post-delta placement and object count."""
+        self.placement = self.incidence.placement
+        self.b = self.incidence.b
 
     # -- hit-vector operations --------------------------------------------
 
@@ -483,6 +737,12 @@ class BitsetKernel(DamageKernel):
     def __init__(self, incidence: Incidence, s: int) -> None:
         super().__init__(incidence, s)
         self.masks = incidence.node_masks()
+
+    def rebind(self) -> bool:
+        # The mask list is the delta incidence's live object; only the
+        # cached shape (b, placement) needs refreshing.
+        self._refresh_shape()
+        return True
 
     def empty_hits(self) -> _BitsetHits:
         return _BitsetHits(self.s)
@@ -609,6 +869,11 @@ class PythonKernel(DamageKernel):
         super().__init__(incidence, s)
         self.node_objects = incidence.node_objects()
 
+    def rebind(self) -> bool:
+        self._refresh_shape()
+        self.node_objects = self.incidence.node_objects()
+        return True
+
     def empty_hits(self) -> List[int]:
         return [0] * self.b
 
@@ -693,6 +958,14 @@ class GainKernel(DamageKernel):
         super().__init__(incidence, s)
         self.node_objects = incidence.node_objects()
         self.object_nodes = incidence.object_nodes()
+
+    def rebind(self) -> bool:
+        # Pure-python and bitset backings read the delta incidence's live
+        # list structures; absorbing a delta is an O(1) shape refresh.
+        self._refresh_shape()
+        self.node_objects = self.incidence.node_objects()
+        self.object_nodes = self.incidence.object_nodes()
+        return True
 
     # -- state ------------------------------------------------------------
 
@@ -828,10 +1101,22 @@ class _NumpyGainKernel(GainKernel):
         self._node_arrays = incidence.node_objects_arrays()
         self._obj_matrix = incidence.object_nodes_matrix()
 
+    def rebind(self) -> bool:
+        # The packed index arrays cannot be edited surgically, but they
+        # re-export from the delta incidence's live lists in O(b) — far
+        # cheaper than a placement-snapshot + fingerprint + engine rebuild.
+        if not super().rebind():  # pragma: no cover - GainKernel returns True
+            return False
+        self._node_arrays = self.incidence.node_objects_arrays()
+        self._obj_matrix = self.incidence.object_nodes_matrix()
+        return True
+
     def empty_hits(self) -> _GainHits:
         counts = _np.zeros(self.b, dtype=_np.int32)
         if self.s == 1:
-            gain = self.incidence.matrix().sum(axis=0, dtype=_np.int64)
+            # Column sums of the incidence matrix = the load profile,
+            # which the placement carries precomputed.
+            gain = _np.array(self.placement.load_profile(), dtype=_np.int64)
         else:
             gain = _np.zeros(self.n, dtype=_np.int64)
         return _GainHits(counts, gain, 0)
@@ -947,15 +1232,6 @@ class _NativeGainKernel(GainKernel):
     def __init__(self, incidence: Incidence, s: int) -> None:
         super().__init__(incidence, s)
         lib = _native.load()
-        csr = incidence.csr()
-        self._csr = csr  # keep the exported buffers alive
-        node_off, node_objs, obj_off, obj_nodes = csr
-        self._model = _native.ModelStruct(
-            self.n, self.b, s,
-            _native.i32_ptr(node_off), _native.i32_ptr(node_objs),
-            _native.i32_ptr(obj_off), _native.i32_ptr(obj_nodes),
-        )
-        self._model_ref = _native.model_ref(self._model)
         self._add = lib.gk_add_node
         self._remove = lib.gk_remove_node
         self._bulk = lib.gk_bulk_build
@@ -967,15 +1243,47 @@ class _NativeGainKernel(GainKernel):
         self._banned_ptr = _native.i32_ptr(self._banned)
         self._out = array("i", [0])
         self._out_ptr = _native.i32_ptr(self._out)
+        self._bind_model()
+
+    def _bind_model(self) -> None:
+        """(Re)export the CSR model and empty-state template to C."""
+        csr = self.incidence.csr()
+        self._csr = csr  # keep the exported buffers alive (and pinned)
+        node_off, node_end, node_objs, obj_off, obj_nodes = csr
+        self._model = _native.ModelStruct(
+            self.n, self.b, self.s,
+            _native.i32_ptr(node_off), _native.i32_ptr(node_end),
+            _native.i32_ptr(node_objs),
+            _native.i32_ptr(obj_off), _native.i32_ptr(obj_nodes),
+        )
+        self._model_ref = _native.model_ref(self._model)
         self._suffix_ptr = None
+        self._rebuild_template()
+
+    def _rebuild_template(self) -> None:
         # Template for empty state: zero counts, per-node degrees in the
         # gain slots when s == 1 (every object sits at s - 1 = 0 hits).
         template = array("i", bytes(4 * (self.b + self.n + 1)))
-        if s == 1:
+        if self.s == 1:
             template[self.b:self.b + self.n] = array(
                 "i", [len(objs) for objs in self.node_objects]
             )
         self._empty_template = template.tobytes()
+
+    def rebind(self) -> bool:
+        # A DeltaIncidence edits its padded CSR arrays in place, so the
+        # usual delta leaves the exported pointers valid: only the model's
+        # object count and the empty-state template need refreshing. A
+        # replaced CSR (capacity overflow, first upgrade) re-exports.
+        if not super().rebind():  # pragma: no cover - GainKernel returns True
+            return False
+        if self.incidence.csr() is not self._csr:
+            self._bind_model()
+        else:
+            self._model.b = self.b
+            self._suffix_ptr = None
+            self._rebuild_template()
+        return True
 
     def empty_hits(self) -> _NativeGainHits:
         return _NativeGainHits(

@@ -45,11 +45,17 @@ typedef int32_t i32;
 
 typedef struct {
     i32 n, b, s;
-    const i32 *node_off;   /* n + 1: CSR offsets into node_objs */
+    const i32 *node_off;   /* n: segment starts into node_objs */
+    const i32 *node_end;   /* n: segment ends (start + load) */
     const i32 *node_objs;  /* objects hosted per node */
-    const i32 *obj_off;    /* b + 1: CSR offsets into obj_nodes */
+    const i32 *obj_off;    /* >= b + 1: CSR offsets into obj_nodes */
     const i32 *obj_nodes;  /* replica nodes per object */
 } gk_model;
+
+/* Separate start/end arrays (rather than the tight off[v]..off[v+1])
+   let segments carry slack capacity, so the delta-aware incidence can
+   absorb object churn by editing O(changed replicas) words in place
+   instead of re-exporting the whole layout. */
 
 /* One hits object is a single packed buffer: counts in state[0..b),
    the gain table in state[b..b+n), the dead counter at state[b+n].
@@ -60,7 +66,7 @@ void gk_add_node(const gk_model *m, i32 node, i32 *state)
     const i32 s = m->s;
     i32 *counts = state, *gain = state + m->b;
     i32 d = state[m->b + m->n];
-    const i32 lo = m->node_off[node], hi = m->node_off[node + 1];
+    const i32 lo = m->node_off[node], hi = m->node_end[node];
     for (i32 i = lo; i < hi; i++) {
         const i32 o = m->node_objs[i];
         const i32 c = ++counts[o];
@@ -81,7 +87,7 @@ void gk_remove_node(const gk_model *m, i32 node, i32 *state)
     const i32 s = m->s;
     i32 *counts = state, *gain = state + m->b;
     i32 d = state[m->b + m->n];
-    const i32 lo = m->node_off[node], hi = m->node_off[node + 1];
+    const i32 lo = m->node_off[node], hi = m->node_end[node];
     for (i32 i = lo; i < hi; i++) {
         const i32 o = m->node_objs[i];
         const i32 c = counts[o]--;
@@ -104,7 +110,7 @@ void gk_bulk_build(const gk_model *m, const i32 *nodes, i32 count,
     memset(state, 0, (size_t)(m->b + m->n + 1) * sizeof(i32));
     if (m->s == 1)  /* every object sits at s - 1 = 0 hits: gain = degree */
         for (i32 v = 0; v < m->n; v++)
-            state[m->b + v] = m->node_off[v + 1] - m->node_off[v];
+            state[m->b + v] = m->node_end[v] - m->node_off[v];
     for (i32 i = 0; i < count; i++)
         gk_add_node(m, nodes[i], state);
 }
@@ -211,6 +217,7 @@ class ModelStruct(ctypes.Structure):
         ("b", ctypes.c_int32),
         ("s", ctypes.c_int32),
         ("node_off", _I32P),
+        ("node_end", _I32P),
         ("node_objs", _I32P),
         ("obj_off", _I32P),
         ("obj_nodes", _I32P),

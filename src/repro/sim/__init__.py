@@ -1,0 +1,59 @@
+"""Discrete-event cluster lifetime simulation.
+
+The layer above the static scenario drivers: a seeded event loop that
+advances one cluster through object churn, random/correlated node
+failures with repair and re-replication, and a recurring online
+worst-case adversary — kept fast by the delta-aware attack engine
+(:meth:`repro.core.batch.AttackEngine.apply_delta`), which absorbs churn
+in O(changed replicas) instead of rebuilding per event.
+
+Entry points: :func:`simulate` (one call), :class:`SimConfig` +
+:class:`LifetimeSimulator` (inspectable runs), ``repro simulate`` (CLI).
+"""
+
+from repro.sim.events import Event, EventKind, EventQueue, SimClockError
+from repro.sim.mirror import EngineMirror
+from repro.sim.processes import (
+    AdversaryProcess,
+    ChurnProcess,
+    MeasureProcess,
+    Process,
+    RackFailureProcess,
+    RandomFailureProcess,
+)
+from repro.sim.repair import (
+    EagerRepair,
+    LazyRepair,
+    NoRepair,
+    RepairPolicy,
+    choose_repair_target,
+    make_repair_policy,
+)
+from repro.sim.report import SimReport, SimSample, StrikeRecord
+from repro.sim.simulator import LifetimeSimulator, SimConfig, simulate
+
+__all__ = [
+    "AdversaryProcess",
+    "ChurnProcess",
+    "EagerRepair",
+    "EngineMirror",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LazyRepair",
+    "LifetimeSimulator",
+    "MeasureProcess",
+    "NoRepair",
+    "Process",
+    "RackFailureProcess",
+    "RandomFailureProcess",
+    "RepairPolicy",
+    "SimClockError",
+    "SimConfig",
+    "SimReport",
+    "SimSample",
+    "StrikeRecord",
+    "choose_repair_target",
+    "make_repair_policy",
+    "simulate",
+]

@@ -1,0 +1,116 @@
+"""Re-replication policies: when lost redundancy is rebuilt elsewhere.
+
+A node failure leaves every object it hosted one replica short until the
+node repairs. Whether (and when) the system rebuilds those replicas on
+healthy nodes is a policy choice with a real trade-off:
+
+* :class:`EagerRepair` — re-replicate immediately (plus an optional
+  detection delay). Redundancy recovers fastest, but every transient
+  failure moves data, and moving replicas *abandons the packing
+  guarantee*: the mutated placement is no longer the one Lemma 3
+  certified, so the simulator marks subsequent strike records
+  uncertified.
+* :class:`LazyRepair` — wait out a grace period; if the node repaired in
+  the meantime, nothing moves. The common production compromise (it
+  absorbs reboots and maintenance without data motion).
+* :class:`NoRepair` — never re-replicate; redundancy returns only when
+  nodes do. Keeps the Lemma-3 certificate valid for the whole run, which
+  is why it is the default for bound-tracking experiments.
+
+The policy decides *timing* only; the mechanics (target choice, cluster
+and engine updates) live in the simulator so policies stay trivially
+composable. Targets are chosen deterministically — least-loaded up node
+not already hosting the object, ties to the lowest id — so repair does
+not consume randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class RepairPolicy:
+    """Decides when a failed node's lost replicas are rebuilt."""
+
+    name = "abstract"
+
+    def rereplicate_at(self, now: float, node: int) -> Optional[float]:
+        """Time to rebuild ``node``'s replicas, or None for never.
+
+        Called once when ``node`` fails. At the returned time the
+        simulator re-checks: a node that already repaired keeps its
+        replicas (relevant under :class:`LazyRepair`).
+        """
+        raise NotImplementedError
+
+
+class EagerRepair(RepairPolicy):
+    """Rebuild as soon as the failure is detected."""
+
+    name = "eager"
+
+    def __init__(self, detection_delay: float = 0.0) -> None:
+        if detection_delay < 0:
+            raise ValueError(
+                f"detection delay must be >= 0, got {detection_delay}"
+            )
+        self.detection_delay = detection_delay
+
+    def rereplicate_at(self, now: float, node: int) -> Optional[float]:
+        return now + self.detection_delay
+
+
+class LazyRepair(RepairPolicy):
+    """Rebuild only if the node is still down after a grace period."""
+
+    name = "lazy"
+
+    def __init__(self, grace: float) -> None:
+        if grace < 0:
+            raise ValueError(f"grace period must be >= 0, got {grace}")
+        self.grace = grace
+
+    def rereplicate_at(self, now: float, node: int) -> Optional[float]:
+        return now + self.grace
+
+
+class NoRepair(RepairPolicy):
+    """Never move replicas; wait for nodes to come back."""
+
+    name = "none"
+
+    def rereplicate_at(self, now: float, node: int) -> Optional[float]:
+        return None
+
+
+def make_repair_policy(name: str, grace: float = 4.0) -> RepairPolicy:
+    """Policy factory for CLI/config strings: eager, lazy, or none."""
+    if name == "eager":
+        return EagerRepair()
+    if name == "lazy":
+        return LazyRepair(grace)
+    if name == "none":
+        return NoRepair()
+    raise ValueError(f"unknown repair policy {name!r}; use eager, lazy or none")
+
+
+def choose_repair_target(
+    loads: Sequence[int],
+    up: Sequence[bool],
+    exclude: Sequence[int],
+) -> Optional[int]:
+    """The node to host a rebuilt replica, or None when no candidate exists.
+
+    Deterministic: least loaded among up nodes outside ``exclude``, ties
+    to the lowest node id (so repair placement is a pure function of
+    cluster state and never draws randomness).
+    """
+    excluded = set(exclude)
+    best: Optional[int] = None
+    best_load = -1
+    for node, load in enumerate(loads):
+        if not up[node] or node in excluded:
+            continue
+        if best is None or load < best_load:
+            best, best_load = node, load
+    return best

@@ -1,0 +1,156 @@
+"""Time-series measurement of a simulated cluster lifetime.
+
+A :class:`SimReport` is what a run leaves behind: periodic
+:class:`SimSample` rows (availability, population, load skew, repair
+backlog), one :class:`StrikeRecord` per adversary strike (damage against
+the live Lemma-3 bound), event counts, and throughput. Everything is
+JSON-friendly via :meth:`SimReport.to_dict` so runs can be archived and
+diffed; :mod:`repro.analysis.timeseries` renders the same structure as
+ascii plots and tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SimSample:
+    """One MEASURE tick of the metric time series."""
+
+    time: float
+    events: int              # events handled so far
+    live_objects: int
+    failed_nodes: int
+    availability: float      # live fraction under the liveness rule
+    load_imbalance: float    # max/mean replica load (1.0 = balanced)
+    repair_backlog: int      # replicas currently on failed nodes
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "time": self.time,
+            "events": self.events,
+            "live_objects": self.live_objects,
+            "failed_nodes": self.failed_nodes,
+            "availability": self.availability,
+            "load_imbalance": self.load_imbalance,
+            "repair_backlog": self.repair_backlog,
+        }
+
+
+@dataclass(frozen=True)
+class StrikeRecord:
+    """One worst-case strike: what the adversary found vs the guarantee."""
+
+    time: float
+    nodes: Tuple[int, ...]   # the failure set the search selected
+    damage: int              # objects the strike disables (search damage)
+    live_objects: int        # population size at strike time
+    lower_bound: int         # Lemma-3 floor for the live population
+    certified: bool          # bound still applies (no replica ever moved)
+
+    @property
+    def available(self) -> int:
+        return self.live_objects - self.damage
+
+    @property
+    def violates_bound(self) -> bool:
+        """True iff a *certified* strike fell below its Lemma-3 floor."""
+        return self.certified and self.available < self.lower_bound
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "nodes": list(self.nodes),
+            "damage": self.damage,
+            "live_objects": self.live_objects,
+            "lower_bound": self.lower_bound,
+            "certified": self.certified,
+        }
+
+
+@dataclass
+class SimReport:
+    """Everything a lifetime run measured."""
+
+    n: int
+    r: int
+    s: int
+    k: int
+    seed: int
+    engine_mode: str
+    samples: List[SimSample] = field(default_factory=list)
+    strikes: List[StrikeRecord] = field(default_factory=list)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    events: int = 0
+    end_time: float = 0.0
+    wall_seconds: float = 0.0
+
+    # -- recording (driver-facing) -----------------------------------------
+
+    def record_sample(self, sample: SimSample) -> None:
+        self.samples.append(sample)
+
+    def record_strike(self, strike: StrikeRecord) -> None:
+        self.strikes.append(strike)
+
+    def count_event(self, kind_value: str) -> None:
+        self.event_counts[kind_value] = self.event_counts.get(kind_value, 0) + 1
+
+    # -- summary queries ----------------------------------------------------
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.events / self.wall_seconds
+
+    def min_availability(self) -> float:
+        """The worst sampled availability fraction (1.0 with no samples)."""
+        if not self.samples:
+            return 1.0
+        return min(sample.availability for sample in self.samples)
+
+    def max_backlog(self) -> int:
+        if not self.samples:
+            return 0
+        return max(sample.repair_backlog for sample in self.samples)
+
+    def worst_strike(self) -> Optional[StrikeRecord]:
+        """The strike with the smallest surviving fraction, if any."""
+        if not self.strikes:
+            return None
+        return min(
+            self.strikes,
+            key=lambda strike: (
+                strike.available / strike.live_objects
+                if strike.live_objects else 1.0
+            ),
+        )
+
+    def bound_violations(self) -> int:
+        """Certified strikes below their Lemma-3 floor (must be 0)."""
+        return sum(1 for strike in self.strikes if strike.violates_bound)
+
+    def certified_strikes(self) -> int:
+        return sum(1 for strike in self.strikes if strike.certified)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly archive of the full run."""
+        return {
+            "schema": "sim_report/v1",
+            "config": {
+                "n": self.n, "r": self.r, "s": self.s, "k": self.k,
+                "seed": self.seed, "engine_mode": self.engine_mode,
+            },
+            "events": self.events,
+            "end_time": self.end_time,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "min_availability": self.min_availability(),
+            "bound_violations": self.bound_violations(),
+            "samples": [sample.to_dict() for sample in self.samples],
+            "strikes": [strike.to_dict() for strike in self.strikes],
+        }

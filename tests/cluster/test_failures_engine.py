@@ -26,6 +26,7 @@ from repro.cluster.workload import (
     geometric_object_counts,
 )
 from repro.core.adaptive import AdaptiveComboPlacement
+from repro.core.batch import AttackEngine
 from repro.core.placement import Placement
 from repro.core.random_placement import RandomStrategy
 from repro.core.simple import SimpleStrategy
@@ -81,6 +82,36 @@ class TestInjectors:
         cluster = deployed_cluster()
         assert fail_specific(cluster, [4, 2]) == [2, 4]
         assert cluster.failed_nodes() == frozenset({2, 4})
+
+    def test_worst_case_injector_reuses_pinned_delta_engine(self):
+        # An online adversary pins a delta-aware engine; injections then
+        # skip the snapshot + fingerprint path and match it bit-for-bit.
+        cluster = deployed_cluster(b=30)
+        rule = threshold_rule(2)
+        snapshot_based = WorstCaseInjector(effort="fast", seed=4)
+        expected = snapshot_based.select(cluster, 3, rule)
+        engine = AttackEngine(cluster.placement_snapshot())
+        pinned = WorstCaseInjector(effort="fast", seed=4, engine=engine)
+        assert pinned.select(cluster, 3, rule) == expected
+        assert pinned.last_result.damage == snapshot_based.last_result.damage
+        # Mutate the population through the engine; the injector tracks it.
+        cluster.add_object(100, [0, 1, 2])
+        cluster.add_object(101, [0, 1, 3])
+        engine.apply_delta(added_objects=[[0, 1, 2], [0, 1, 3]])
+        moved = pinned.select(cluster, 3, rule)
+        fresh = WorstCaseInjector(effort="fast", seed=4).select(
+            cluster, 3, rule
+        )
+        assert moved == fresh
+
+    def test_worst_case_injector_warm_start(self):
+        cluster = deployed_cluster(b=30)
+        rule = threshold_rule(2)
+        injector = WorstCaseInjector(effort="fast", seed=2)
+        first = injector.inject(cluster, 2, rule)
+        cluster.recover_all()
+        chained = injector.select(cluster, 3, rule, warm_start=first)
+        assert len(chained) == 3
 
 
 class TestWorkload:
@@ -151,6 +182,31 @@ class TestEngine:
         )
         assert len(reports) == 5
         assert all(r.b == 30 for r in reports)
+
+    def test_random_failure_scenario_derived_seed_determinism(self):
+        # Parameter parity with run_attack_scenario: no rng means the
+        # draws derive from (seed, k, s) and replay bit-for-bit.
+        placement = RandomStrategy(10, 3).place(30, random.Random(0))
+        rule = threshold_rule(2)
+        first = run_random_failure_scenario(placement, 2, rule,
+                                            repetitions=4, seed=9)
+        second = run_random_failure_scenario(placement, 2, rule,
+                                             repetitions=4, seed=9)
+        assert [r.failed_nodes for r in first] == [
+            r.failed_nodes for r in second
+        ]
+        other = run_random_failure_scenario(placement, 2, rule,
+                                            repetitions=4, seed=10)
+        assert [r.failed_nodes for r in first] != [
+            r.failed_nodes for r in other
+        ]
+
+    def test_random_failure_scenario_accepts_racks(self):
+        placement = RandomStrategy(10, 3).place(30, random.Random(0))
+        reports = run_random_failure_scenario(
+            placement, 2, threshold_rule(2), repetitions=2, racks=5, seed=1
+        )
+        assert len(reports) == 2
 
     def test_compare_strategies(self):
         simple = SimpleStrategy(13, 3, 1).place(26)

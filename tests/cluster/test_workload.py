@@ -1,0 +1,102 @@
+"""Property tests for the synthetic workload generators."""
+
+import random
+from itertools import islice
+
+import pytest
+
+from repro.cluster.workload import (
+    ChurnKind,
+    churn_trace,
+    geometric_object_counts,
+)
+
+
+class TestGeometricObjectCounts:
+    def test_paper_ladder_is_the_default(self):
+        assert geometric_object_counts() == [
+            600, 1200, 2400, 4800, 9600, 19200, 38400
+        ]
+
+    @pytest.mark.parametrize("start,doublings", [(1, 0), (5, 1), (600, 6), (7, 10)])
+    def test_shape_properties(self, start, doublings):
+        ladder = geometric_object_counts(start, doublings)
+        assert len(ladder) == doublings + 1
+        assert ladder[0] == start
+        assert all(b == 2 * a for a, b in zip(ladder, ladder[1:]))
+
+    def test_zero_doublings_is_a_singleton(self):
+        assert geometric_object_counts(17, 0) == [17]
+
+    @pytest.mark.parametrize("start,doublings", [(0, 3), (-5, 3), (600, -1)])
+    def test_rejects_degenerate_shapes(self, start, doublings):
+        with pytest.raises(ValueError):
+            geometric_object_counts(start, doublings)
+
+
+class TestChurnTrace:
+    def test_exact_warmup_prefix(self):
+        for warmup in (0, 1, 7, 32):
+            events = list(
+                churn_trace(40, 0.3, warmup_arrivals=warmup,
+                            rng=random.Random(1))
+            )
+            assert len(events) == warmup + 40
+            assert all(
+                e.kind == ChurnKind.ARRIVAL for e in events[:warmup]
+            ), f"warmup={warmup} leading events must all be arrivals"
+
+    def test_deterministic_under_seeded_rng(self):
+        first = [
+            e.kind
+            for e in churn_trace(200, 0.55, warmup_arrivals=8,
+                                 rng=random.Random(77))
+        ]
+        second = [
+            e.kind
+            for e in churn_trace(200, 0.55, warmup_arrivals=8,
+                                 rng=random.Random(77))
+        ]
+        assert first == second
+        different = [
+            e.kind
+            for e in churn_trace(200, 0.55, warmup_arrivals=8,
+                                 rng=random.Random(78))
+        ]
+        assert first != different
+
+    @pytest.mark.parametrize("probability", [0.0, 1.0])
+    def test_probability_bounds_are_degenerate_traces(self, probability):
+        events = list(
+            churn_trace(60, probability, warmup_arrivals=5,
+                        rng=random.Random(0))
+        )
+        expected = (
+            ChurnKind.ARRIVAL if probability == 1.0 else ChurnKind.DEPARTURE
+        )
+        assert all(e.kind == expected for e in events[5:])
+
+    def test_arrival_fraction_tracks_probability(self):
+        rng = random.Random(123)
+        events = list(churn_trace(4000, 0.6, warmup_arrivals=0, rng=rng))
+        arrivals = sum(1 for e in events if e.kind == ChurnKind.ARRIVAL)
+        assert 0.55 < arrivals / len(events) < 0.65
+
+    def test_is_lazy(self):
+        # A huge trace must not materialize: take a prefix only.
+        trace = churn_trace(10**9, 0.5, warmup_arrivals=2,
+                            rng=random.Random(0))
+        assert len(list(islice(trace, 10))) == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"steps": 5, "arrival_probability": 1.5},
+            {"steps": 5, "arrival_probability": -0.1},
+            {"steps": -1, "arrival_probability": 0.5},
+            {"steps": 5, "arrival_probability": 0.5, "warmup_arrivals": -2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            list(churn_trace(**kwargs))

@@ -1,0 +1,245 @@
+"""End-to-end tests for the cluster lifetime simulator."""
+
+import pytest
+
+from repro.core.batch import clear_attack_caches
+from repro.sim import (
+    EngineMirror,
+    LifetimeSimulator,
+    SimConfig,
+    make_repair_policy,
+    simulate,
+)
+from repro.sim.repair import EagerRepair, LazyRepair, NoRepair, choose_repair_target
+
+
+def strike_tuples(report):
+    return [
+        (s.time, s.nodes, s.damage, s.live_objects, s.lower_bound, s.certified)
+        for s in report.strikes
+    ]
+
+
+def sample_dicts(report):
+    return [s.to_dict() for s in report.samples]
+
+
+BASE = dict(
+    n=31, r=3, s=2, k=3, events=500, seed=5, racks=4,
+    warmup_arrivals=40, failure_rate=0.03, strike_period=16.0,
+    measure_period=8.0,
+)
+
+
+class TestDeterminismAndEquivalence:
+    def setup_method(self):
+        clear_attack_caches()
+
+    def test_replay_is_bit_for_bit(self):
+        first = simulate(**BASE)
+        clear_attack_caches()
+        second = simulate(**BASE)
+        assert strike_tuples(first) == strike_tuples(second)
+        assert sample_dicts(first) == sample_dicts(second)
+        assert first.event_counts == second.event_counts
+
+    def test_delta_and_rebuild_modes_agree(self):
+        delta = simulate(**BASE, repair="lazy", engine_mode="delta")
+        clear_attack_caches()
+        rebuild = simulate(**BASE, repair="lazy", engine_mode="rebuild")
+        assert strike_tuples(delta) == strike_tuples(rebuild)
+        assert sample_dicts(delta) == sample_dicts(rebuild)
+        assert delta.event_counts == rebuild.event_counts
+
+    def test_seeds_decorrelate(self):
+        first = simulate(**{**BASE, "seed": 1})
+        second = simulate(**{**BASE, "seed": 2})
+        assert strike_tuples(first) != strike_tuples(second)
+
+
+class TestGuarantees:
+    def setup_method(self):
+        clear_attack_caches()
+
+    def test_certified_strikes_respect_lemma3(self):
+        # No re-replication => the packing certificate holds for the whole
+        # run, and every strike must leave at least the Lemma-3 floor.
+        report = simulate(**BASE, repair="none")
+        assert report.strikes, "expected strikes"
+        assert all(s.certified for s in report.strikes)
+        assert report.bound_violations() == 0
+
+    def test_exact_effort_also_respects_lemma3(self):
+        report = simulate(
+            n=13, r=3, s=2, k=2, events=200, seed=3, warmup_arrivals=24,
+            strike_period=12.0, measure_period=8.0, effort="exact",
+        )
+        assert report.strikes
+        assert report.bound_violations() == 0
+
+    def test_rereplication_voids_the_certificate(self):
+        report = simulate(**BASE, repair="eager")
+        assert report.strikes
+        assert not report.strikes[-1].certified
+        assert report.certified_strikes() < len(report.strikes)
+
+    def test_eager_repair_drains_backlog_without_node_recovery(self):
+        # With repair_time far beyond the horizon and no strikes, the
+        # handful of random failures never recover — backlog can only
+        # drain through re-replication.
+        scenario = {
+            **BASE, "repair_time": 10_000.0, "strike_period": 0.0,
+            "failure_rate": 0.02,
+        }
+        eager = simulate(**scenario, repair="eager")
+        degraded = simulate(**scenario, repair="none")
+        assert eager.event_counts.get("node-fail", 0) > 0
+        assert eager.samples[-1].repair_backlog == 0
+        assert degraded.samples[-1].repair_backlog > 0
+        assert eager.min_availability() >= degraded.min_availability()
+
+    def test_lazy_repair_skips_fast_recoveries(self):
+        # Grace longer than the downtime: nodes always repair first, so no
+        # replica ever moves and the certificate survives — including when
+        # a node fails again before an older grace check fires (the epoch
+        # stamp marks that check stale).
+        report = simulate(
+            **{**BASE, "repair_time": 2.0}, repair="lazy", repair_grace=50.0,
+        )
+        assert report.event_counts.get("re-replicate", 0) > 0
+        assert all(s.certified for s in report.strikes)
+        assert report.bound_violations() == 0
+
+
+class TestSimulatorMechanics:
+    def setup_method(self):
+        clear_attack_caches()
+
+    def test_event_budget_is_respected(self):
+        report = simulate(**{**BASE, "events": 123})
+        assert report.events == 123
+        assert sum(report.event_counts.values()) == 123
+
+    def test_rack_failures_fire(self):
+        report = simulate(
+            **{**BASE, "failure_rate": 0.0}, rack_failure_rate=0.02,
+        )
+        assert report.event_counts.get("rack-fail", 0) > 0
+
+    def test_departure_heavy_churn_survives_empty_population(self):
+        report = simulate(
+            n=13, r=3, s=2, k=2, events=150, seed=9,
+            arrival_probability=0.1, warmup_arrivals=2,
+            strike_period=4.0, measure_period=4.0,
+        )
+        assert report.events == 150
+
+    def test_report_round_trips_to_dict(self):
+        report = simulate(**{**BASE, "events": 120})
+        payload = report.to_dict()
+        assert payload["schema"] == "sim_report/v1"
+        assert payload["events"] == 120
+        assert len(payload["samples"]) == len(report.samples)
+        assert len(payload["strikes"]) == len(report.strikes)
+        assert payload["bound_violations"] == report.bound_violations()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(n=1).validate()
+        with pytest.raises(ValueError):
+            SimConfig(k=0).validate()
+        with pytest.raises(ValueError):
+            SimConfig(k=31).validate()
+        with pytest.raises(ValueError):
+            SimConfig(s=9).validate()
+        with pytest.raises(ValueError):
+            SimConfig(events=0).validate()
+        with pytest.raises(ValueError):
+            SimConfig(engine_mode="warp").validate()
+        with pytest.raises(ValueError):
+            LifetimeSimulator(SimConfig(repair="sometimes"))
+
+    def test_simulator_exposes_live_state(self):
+        sim = LifetimeSimulator(SimConfig(**{**BASE, "events": 200}))
+        report = sim.run()
+        assert report.samples and report.strikes
+        assert sim.adaptive.num_objects == len(sim.cluster.objects)
+        # The delta mirror tracks the same population the cluster hosts.
+        assert sim.mirror.size == len(sim.cluster.objects)
+
+
+class TestEngineMirror:
+    def test_flush_batches_churn_into_one_delta(self):
+        mirror = EngineMirror(9)
+        for obj_id in range(6):
+            mirror.add(obj_id, (obj_id % 9, (obj_id + 1) % 9, (obj_id + 2) % 9))
+        engine = mirror.flush()
+        assert engine.placement.b == 6
+        assert mirror.deltas_applied == 0  # cold build, no delta yet
+        mirror.remove(1)
+        mirror.add(10, (0, 3, 6))
+        mirror.replace(4, (1, 4, 7))
+        assert mirror.flush() is engine
+        assert mirror.deltas_applied == 1
+        assert engine.placement.b == 6
+        assert engine.placement.replica_sets[mirror.slot_of(10)] == frozenset(
+            {0, 3, 6}
+        )
+        assert engine.placement.replica_sets[mirror.slot_of(4)] == frozenset(
+            {1, 4, 7}
+        )
+
+    def test_pending_add_then_remove_cancels(self):
+        mirror = EngineMirror(6)
+        mirror.add(0, (0, 1, 2))
+        mirror.add(1, (1, 2, 3))
+        mirror.remove(1)
+        engine = mirror.flush()
+        assert engine.placement.b == 1
+
+    def test_emptying_population_drops_the_engine(self):
+        mirror = EngineMirror(6)
+        mirror.add(0, (0, 1, 2))
+        assert mirror.flush() is not None
+        mirror.remove(0)
+        assert mirror.flush() is None
+        mirror.add(1, (2, 3, 4))
+        engine = mirror.flush()
+        assert engine is not None and engine.placement.b == 1
+
+    def test_unknown_ids_raise(self):
+        mirror = EngineMirror(6)
+        with pytest.raises(KeyError):
+            mirror.remove(5)
+        with pytest.raises(KeyError):
+            mirror.replace(5, (0, 1, 2))
+        mirror.add(5, (0, 1, 2))
+        with pytest.raises(KeyError):
+            mirror.add(5, (0, 1, 2))
+
+
+class TestRepairPolicies:
+    def test_factory(self):
+        assert isinstance(make_repair_policy("eager"), EagerRepair)
+        assert isinstance(make_repair_policy("lazy", grace=2.0), LazyRepair)
+        assert isinstance(make_repair_policy("none"), NoRepair)
+        with pytest.raises(ValueError):
+            make_repair_policy("later")
+
+    def test_timing(self):
+        assert EagerRepair().rereplicate_at(5.0, 0) == 5.0
+        assert EagerRepair(detection_delay=1.5).rereplicate_at(5.0, 0) == 6.5
+        assert LazyRepair(grace=4.0).rereplicate_at(5.0, 0) == 9.0
+        assert NoRepair().rereplicate_at(5.0, 0) is None
+        with pytest.raises(ValueError):
+            LazyRepair(grace=-1.0)
+
+    def test_choose_repair_target_is_deterministic(self):
+        loads = [5, 1, 1, 9, 0]
+        up = [True, True, True, True, False]
+        # Node 4 is down, node 1 ties node 2 on load: lowest id wins.
+        assert choose_repair_target(loads, up, exclude=[]) == 1
+        assert choose_repair_target(loads, up, exclude=[1]) == 2
+        assert choose_repair_target(
+            loads, [False] * 5, exclude=[]
+        ) is None

@@ -112,6 +112,44 @@ class TestAuditCommand:
         assert "k=4, s=2" in out
 
 
+class TestSimulateCommand:
+    def test_lifetime_run_renders_report(self, capsys):
+        assert main([
+            "simulate", "--events", "300", "--seed", "4",
+            "--failure-rate", "0.02", "--repair", "lazy",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Lifetime summary" in out
+        assert "Availability over time" in out
+        assert "Adversary strikes" in out
+
+    def test_json_archive(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main([
+            "simulate", "--events", "200", "--strike-period", "12",
+            "--json", str(target),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "sim_report/v1"
+        assert payload["events"] == 200
+        assert payload["bound_violations"] == 0
+
+    def test_engine_modes_agree(self, capsys):
+        args = ["simulate", "--events", "250", "--seed", "6",
+                "--measure-period", "0"]
+        assert main(args + ["--engine", "delta"]) == 0
+        delta_out = capsys.readouterr().out
+        assert main(args + ["--engine", "rebuild"]) == 0
+        rebuild_out = capsys.readouterr().out
+        # Identical strike tables; only the engine-mode line differs.
+        strip = lambda text: [
+            line for line in text.splitlines() if "engine mode" not in line
+            and "wall seconds" not in line and "events/sec" not in line
+        ]
+        assert strip(delta_out) == strip(rebuild_out)
+
+
 class TestBoundsCommand:
     def test_fig9_cell(self, capsys):
         assert main([
