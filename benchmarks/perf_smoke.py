@@ -1,12 +1,22 @@
-"""Tiny-scale CI perf smoke: the gain engine must not lose to pure python.
+"""Tiny-scale CI perf smoke: two floors the fast paths must never sink below.
 
-A guard, not a benchmark: it runs a small LocalSearch ladder (n=31,
-b=600 — seconds even on a throttled CI runner) through the auto-resolved
-gain engine and through the pure-python full-scan kernel, and fails if
-the gain engine is slower. The real perf record (paper scale, the >= 5x
-acceptance against the PR-1 bitset baseline) lives in
-``bench_kernels.py`` / ``BENCH_2.json``; this script only catches the
-"gain engine silently degraded below the floor" failure mode.
+A guard, not a benchmark:
+
+* **gain-engine floor** — a small LocalSearch ladder (n=31, b=600 —
+  seconds even on a throttled CI runner) through the auto-resolved gain
+  engine and through the pure-python full-scan kernel; fails if the gain
+  engine is slower.
+* **placement-scale floor** — build an array-backed placement plus its
+  engine structures (loads, CSR, fingerprint, gain kernel) at
+  b = 200 000, once through ``Placement.from_arrays`` and once through a
+  re-implementation of the historical frozenset pipeline; fails if the
+  array core is slower than the frozenset baseline or blows a generous
+  wall-clock budget.
+
+The real perf records (paper scale / million-object scale) live in
+``bench_kernels.py`` / ``BENCH_2.json`` and ``bench_placement.py`` /
+``BENCH_4.json``; this script only catches the "fast path silently
+degraded below the floor" failure modes.
 
 Run::
 
@@ -15,13 +25,15 @@ Run::
 Exits non-zero (with a JSON diagnostic on stdout) on regression.
 """
 
+import hashlib
 import json
 import random
 import sys
 import time
 
 from repro.core.adversary import LocalSearchAdversary
-from repro.core.kernels import make_kernel, resolve_gain_backing
+from repro.core.kernels import Incidence, make_kernel, resolve_gain_backing
+from repro.core.placement import Placement
 from repro.core.random_placement import RandomStrategy
 
 N, B, S = 31, 600, 2
@@ -30,6 +42,14 @@ ROUNDS = 7
 #: Timing-noise allowance: "at least as fast" with 10% grace on a 2-digit
 #: millisecond measurement.
 SLACK = 1.10
+
+#: Placement-scale gate: object count, node count, and the wall-clock
+#: budget (seconds) for one array-path construction-to-engine-ready pass.
+#: The budget is ~20x the measured time on a laptop — it exists to catch
+#: an accidental O(b^2) or a silent fallback to per-object Python work,
+#: not to benchmark the runner.
+SCALE_B, SCALE_N, SCALE_R = 200_000, 512, 3
+SCALE_BUDGET_SECONDS = 5.0
 
 
 def sweep_seconds(kernel) -> float:
@@ -43,6 +63,123 @@ def sweep_seconds(kernel) -> float:
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return best
+
+
+def _scale_rows():
+    """Valid sorted/distinct rows at gate scale, cheap to generate."""
+    rows = []
+    span = SCALE_N - SCALE_R
+    for i in range(SCALE_B):
+        start = (i * 7919) % span
+        rows.append(tuple(range(start, start + SCALE_R)))
+    return rows
+
+
+def _array_ready_seconds(rows) -> float:
+    start = time.perf_counter()
+    placement = Placement.from_arrays(
+        SCALE_N, rows, strategy="gate", validate=False
+    )
+    placement.load_array()
+    placement.node_csr()
+    placement.fingerprint()
+    incidence = Incidence(placement)
+    make_kernel(placement, S, backend="gain", incidence=incidence)
+    incidence.csr()
+    return time.perf_counter() - start
+
+
+def legacy_build(n: int, replica_sets):
+    """Validate + snapshot per-object node sets, as the pre-PR-4 core did.
+
+    This and :func:`legacy_engine_structures` are the single definition of
+    the historical frozenset pipeline — ``bench_placement.py`` imports
+    them, so the CI floor gate and the BENCH_4 record measure the same
+    baseline.
+    """
+    frozen = []
+    r = None
+    for obj_id, nodes in enumerate(replica_sets):
+        node_list = list(nodes)
+        node_set = frozenset(node_list)
+        if len(node_set) != len(node_list):
+            raise ValueError(f"object {obj_id} repeats a node")
+        if r is None:
+            r = len(node_set)
+        if len(node_set) != r:
+            raise ValueError(f"object {obj_id} has wrong r")
+        for node in node_set:
+            if not 0 <= node < n:
+                raise ValueError(f"node {node} out of range")
+        frozen.append(node_set)
+    return tuple(frozen)
+
+
+def legacy_engine_structures(n: int, replica_sets):
+    """Loads, node incidence, CSR and fingerprint via per-set Python loops."""
+    from array import array
+
+    loads = [0] * n
+    for nodes in replica_sets:
+        for node in nodes:
+            loads[node] += 1
+    table = [[] for _ in range(n)]
+    for obj_id, nodes in enumerate(replica_sets):
+        for node in nodes:
+            table[node].append(obj_id)
+    incidence = tuple(tuple(row) for row in table)
+    node_off = array("i", [0])
+    node_objs = array("i")
+    for objs in incidence:
+        node_objs.extend(objs)
+        node_off.append(len(node_objs))
+    obj_off = array("i", [0])
+    obj_nodes = array("i")
+    for nodes in replica_sets:
+        obj_nodes.extend(sorted(nodes))
+        obj_off.append(len(obj_nodes))
+    digest = hashlib.sha256()
+    digest.update(f"{n}:{len(replica_sets)}".encode())
+    for nodes in replica_sets:
+        digest.update(b"|")
+        digest.update(",".join(map(str, sorted(nodes))).encode())
+    structures = (node_off, node_objs, obj_off, obj_nodes)
+    return loads, incidence, structures, digest.hexdigest()
+
+
+def _frozenset_ready_seconds(rows) -> float:
+    start = time.perf_counter()
+    frozen = legacy_build(SCALE_N, rows)
+    legacy_engine_structures(SCALE_N, frozen)
+    return time.perf_counter() - start
+
+
+def placement_scale_gate(report: dict) -> int:
+    rows = _scale_rows()
+    array_seconds = min(_array_ready_seconds(rows) for _ in range(3))
+    frozen_seconds = min(_frozenset_ready_seconds(rows) for _ in range(2))
+    report["placement_scale"] = {
+        "b": SCALE_B, "n": SCALE_N, "r": SCALE_R,
+        "array_seconds": round(array_seconds, 4),
+        "frozenset_seconds": round(frozen_seconds, 4),
+        "speedup": round(frozen_seconds / array_seconds, 2),
+        "budget_seconds": SCALE_BUDGET_SECONDS,
+    }
+    if array_seconds > SCALE_BUDGET_SECONDS:
+        print(
+            f"FAIL: array placement path took {array_seconds:.3f}s at "
+            f"b={SCALE_B}, over the {SCALE_BUDGET_SECONDS:.1f}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    if array_seconds > frozen_seconds * SLACK:
+        print(
+            f"FAIL: array placement path ({array_seconds:.3f}s) slower "
+            f"than the frozenset baseline ({frozen_seconds:.3f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main() -> int:
@@ -71,6 +208,7 @@ def main() -> int:
         "speedup": round(python_seconds / gain_seconds, 2),
         "damages_agree": gain_damages == python_damages,
     }
+    status = placement_scale_gate(report)
     print(json.dumps(report))
     if gain_damages != python_damages:
         print("FAIL: gain engine and python kernel disagree", file=sys.stderr)
@@ -82,7 +220,7 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -3,9 +3,10 @@
 The commands cover the library's workflows without writing Python:
 
 * ``figure``   — regenerate one of the paper's figures/tables as text;
-* ``place``    — compute a placement (combo/simple/random) and print or
-  save it as JSON;
-* ``attack``   — run the worst-case adversary against a saved placement;
+* ``place``    — compute a placement (combo/simple/random) and print it,
+  save it as JSON, or save the binary ``.npz`` artifact (``--format``);
+* ``attack``   — run the worst-case adversary against a saved placement
+  (JSON or ``.npz``);
 * ``simulate`` — run the discrete-event cluster lifetime simulator
   (churn + failures + repair + a recurring online adversary) and render
   its time series;
@@ -25,7 +26,6 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.core.combo import ComboStrategy
-from repro.core.placement import Placement
 from repro.core.rand_analysis import pr_avail_rnd
 from repro.core.random_placement import RandomStrategy
 from repro.core.simple import SimpleStrategy
@@ -61,10 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--x", type=int, default=1, help="overlap bound (simple)")
     place.add_argument("--seed", type=int, default=0, help="rng seed (random)")
     place.add_argument("--output", type=str, default=None,
-                       help="write placement JSON here instead of stdout")
+                       help="write the placement here instead of stdout")
+    place.add_argument("--format", choices=("auto", "json", "npz"),
+                       default="auto",
+                       help="artifact format (auto: by --output extension; "
+                       "npz is the binary format and needs --output)")
 
     attack = commands.add_parser("attack", help="worst-case attack a placement")
-    attack.add_argument("placement", type=str, help="placement JSON file")
+    attack.add_argument("placement", type=str,
+                        help="placement artifact (JSON or .npz)")
     attack.add_argument("--k", type=int, action="append", required=True,
                         help="nodes to fail (repeatable: batches a k-grid "
                         "through one shared incidence structure)")
@@ -125,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="lazy-repair grace period")
     simulate.add_argument("--json", type=str, default=None,
                           help="also write the full report as JSON here")
+    simulate.add_argument("--final-placement", type=str, default=None,
+                          help="write the final population snapshot as a "
+                          "placement artifact (JSON or .npz, by extension)")
 
     bounds = commands.add_parser(
         "bounds", help="Combo guarantee vs Random prediction for one cell"
@@ -138,7 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
     audit = commands.add_parser(
         "audit", help="measure a placement's overlaps and certify floors"
     )
-    audit.add_argument("placement", type=str, help="placement JSON file")
+    audit.add_argument("placement", type=str,
+                       help="placement artifact (JSON or .npz)")
     audit.add_argument("--k", type=int, action="append", required=True,
                        help="failure count (repeatable)")
     audit.add_argument("--s", type=int, action="append", required=True,
@@ -185,21 +194,38 @@ def _run_simulate(args) -> int:
         backend=backend, engine_mode=args.engine, repair=args.repair,
         repair_grace=args.grace,
     )
-    report = LifetimeSimulator(config).run()
+    simulator = LifetimeSimulator(config)
+    report = simulator.run()
     print(render_report(report))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
             handle.write("\n")
         print(f"\nwrote report JSON to {args.json}", file=sys.stderr)
+    if args.final_placement:
+        from repro.core.artifact import save_placement
+
+        if not simulator.cluster.objects:
+            print(
+                "population is empty; no final placement written",
+                file=sys.stderr,
+            )
+        else:
+            snapshot = simulator.cluster.placement_snapshot()
+            save_placement(snapshot, args.final_placement)
+            print(
+                f"wrote final placement ({snapshot.b} objects) to "
+                f"{args.final_placement}",
+                file=sys.stderr,
+            )
     return 0
 
 
 def _run_audit(args) -> int:
+    from repro.core.artifact import load_placement
     from repro.core.inspect import audit_placement
 
-    with open(args.placement, encoding="utf-8") as handle:
-        placement = Placement.from_dict(json.load(handle))
+    placement = load_placement(args.placement)
     audit = audit_placement(
         placement, k_values=tuple(args.k), s_values=tuple(args.s)
     )
@@ -244,6 +270,15 @@ def _run_figure(args) -> int:
 
 
 def _run_place(args) -> int:
+    chosen_format = args.format
+    if chosen_format == "auto":
+        chosen_format = (
+            "npz" if args.output and args.output.endswith(".npz") else "json"
+        )
+    if chosen_format == "npz" and not args.output:
+        # Reject before doing the placement work, not after.
+        print("--format npz needs --output", file=sys.stderr)
+        return 2
     if args.strategy == "random":
         placement = RandomStrategy(args.n, args.r).place(
             args.b, random.Random(args.seed)
@@ -267,6 +302,15 @@ def _run_place(args) -> int:
             f"# Combo lambdas={plan.lambdas} lower_bound={plan.lower_bound}",
             file=sys.stderr,
         )
+    if chosen_format == "npz":
+        from repro.core.artifact import save_npz
+
+        target = args.output
+        if not target.endswith(".npz"):
+            target += ".npz"
+        save_npz(placement, target)
+        print(f"wrote {placement.b} objects to {target}", file=sys.stderr)
+        return 0
     payload = json.dumps(placement.to_dict())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -278,10 +322,10 @@ def _run_place(args) -> int:
 
 
 def _run_attack(args) -> int:
+    from repro.core.artifact import load_placement
     from repro.core.batch import AttackCell, batch_attack
 
-    with open(args.placement, encoding="utf-8") as handle:
-        placement = Placement.from_dict(json.load(handle))
+    placement = load_placement(args.placement)
     cells = [AttackCell(k, args.s, args.effort) for k in args.k]
     results = batch_attack(
         placement, cells, backend=args.kernel, workers=args.workers,

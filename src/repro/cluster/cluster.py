@@ -128,9 +128,22 @@ class Cluster:
         """The current object population as a Placement (ids renumbered)."""
         if not self.objects:
             raise ClusterError("cluster hosts no objects")
-        ordered = [self.objects[obj_id] for obj_id in sorted(self.objects)]
-        return Placement.from_replica_sets(
-            self.n, [obj.replica_nodes for obj in ordered], strategy="snapshot"
+        from array import array
+
+        # Replica sets were validated at add_object time (in-range,
+        # distinct via frozenset), so the snapshot takes the trusted
+        # array path — no per-object revalidation per attack snapshot.
+        rows = array("i")
+        r = len(next(iter(self.objects.values())).replica_nodes)
+        for obj_id in sorted(self.objects):
+            nodes = self.objects[obj_id].replica_nodes
+            if len(nodes) != r:
+                raise ClusterError(
+                    f"object {obj_id} has {len(nodes)} replicas, expected {r}"
+                )
+            rows.extend(sorted(nodes))
+        return Placement.from_arrays(
+            self.n, rows, r=r, strategy="snapshot", validate=False
         )
 
     def __repr__(self) -> str:

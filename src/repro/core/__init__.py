@@ -8,6 +8,13 @@ Lemma 4).
 """
 
 from repro.core.adaptive import AdaptiveComboPlacement
+from repro.core.artifact import (
+    ArtifactError,
+    load_npz,
+    load_placement,
+    save_npz,
+    save_placement,
+)
 from repro.core.adversary import (
     AttackResult,
     BranchAndBoundAdversary,
@@ -88,6 +95,7 @@ from repro.core.subsystems import (
 
 __all__ = [
     "AdaptiveComboPlacement",
+    "ArtifactError",
     "AttackCell",
     "AttackEngine",
     "AttackResult",
@@ -125,6 +133,10 @@ __all__ = [
     "certified_availability",
     "damage",
     "engine_for",
+    "load_npz",
+    "load_placement",
+    "save_npz",
+    "save_placement",
     "evaluate_availability",
     "evaluate_availability_grid",
     "expected_random_multiplicity",

@@ -197,10 +197,19 @@ class AdaptiveComboPlacement:
         """Snapshot of the live objects as a Placement (ids renumbered)."""
         if not self._assignments:
             raise RuntimeError("no live objects to snapshot")
-        return Placement.from_replica_sets(
-            self.n,
-            [block for (_x, block) in self._assignments.values()],
-            strategy="AdaptiveCombo",
+        from array import array
+        from itertools import chain
+
+        # Blocks are sorted design rows by construction; snapshot straight
+        # into the trusted array path.
+        rows = array(
+            "i",
+            chain.from_iterable(
+                block for (_x, block) in self._assignments.values()
+            ),
+        )
+        return Placement.from_arrays(
+            self.n, rows, r=self.r, strategy="AdaptiveCombo", validate=False
         )
 
     def current_lambdas(self) -> List[int]:

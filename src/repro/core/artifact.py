@@ -1,0 +1,232 @@
+"""Binary placement artifacts: ``.npz`` with a versioned JSON header.
+
+JSON placements (:meth:`Placement.to_dict`) are convenient but cost
+seconds of parse + validation at million-object scale. This module adds a
+binary format that round-trips the array-native core in milliseconds:
+
+* ``rows.npy`` — the ``(b, r)`` row-sorted replica matrix as a standard
+  NPY v1.0 array (little-endian int32), so ``numpy.load`` can open the
+  archive directly;
+* ``header.json`` — ``{"format": "repro-placement", "version": 1, "n",
+  "b", "r", "strategy", "sha256"}`` where ``sha256`` digests the raw row
+  bytes.
+
+Both members live in an uncompressed zip (the ``.npz`` container). The
+writer and reader are dependency-free — the NPY header is tiny and
+hand-rolled — so the format works on the no-numpy ladder too.
+
+Loading verifies shape and checksum and then takes the **trusted**
+:meth:`Placement.from_arrays` path (``validate=False``): a placement that
+hashed correctly was validated when it was saved, so re-running the
+O(b r) structural checks on every reload is pure overhead. Pass
+``validate=True`` to re-check anyway (e.g. for artifacts of unknown
+provenance).
+
+:func:`save_placement` / :func:`load_placement` dispatch on the file
+extension, so every CLI entry point (``repro place/attack/audit/
+simulate``) speaks both formats through one pair of calls.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import struct
+import sys
+import zipfile
+from array import array
+from typing import Optional
+
+from repro.core.placement import Placement, PlacementError
+
+PLACEMENT_FORMAT = "repro-placement"
+PLACEMENT_VERSION = 1
+
+_NPY_MAGIC = b"\x93NUMPY"
+
+
+class ArtifactError(ValueError):
+    """Raised on malformed, corrupt, or version-incompatible artifacts."""
+
+
+def _row_bytes_le(placement: Placement) -> bytes:
+    """The raw row buffer as little-endian int32 bytes."""
+    rows = placement.replica_array()
+    if sys.byteorder == "big":  # pragma: no cover - no big-endian CI leg
+        rows = array("i", rows)
+        rows.byteswap()
+    return rows.tobytes()
+
+
+def _npy_bytes(row_data: bytes, b: int, r: int) -> bytes:
+    """A standard NPY v1.0 envelope around the little-endian int32 rows."""
+    header = (
+        "{'descr': '<i4', 'fortran_order': False, "
+        f"'shape': ({b}, {r}), }}"
+    ).encode("latin1")
+    # Pad with spaces so magic + version + length + header is 64-aligned.
+    unpadded = len(_NPY_MAGIC) + 2 + 2 + len(header) + 1
+    header += b" " * (-unpadded % 64) + b"\n"
+    return (
+        _NPY_MAGIC + bytes((1, 0)) + struct.pack("<H", len(header))
+        + header + row_data
+    )
+
+
+def _parse_npy(blob: bytes):
+    """Minimal NPY v1/v2 reader for the int32 row matrix."""
+    if blob[:6] != _NPY_MAGIC:
+        raise ArtifactError("rows.npy: not an NPY file")
+    major = blob[6]
+    if major == 1:
+        (header_len,) = struct.unpack("<H", blob[8:10])
+        offset = 10
+    elif major == 2:  # pragma: no cover - we never write v2
+        (header_len,) = struct.unpack("<I", blob[8:12])
+        offset = 12
+    else:
+        raise ArtifactError(f"rows.npy: unsupported NPY version {major}")
+    header = ast.literal_eval(blob[offset:offset + header_len].decode("latin1"))
+    if header.get("fortran_order"):
+        raise ArtifactError("rows.npy: fortran order is not supported")
+    descr = header.get("descr")
+    if descr not in ("<i4", "|i4", ">i4"):
+        raise ArtifactError(f"rows.npy: expected int32 rows, got {descr!r}")
+    shape = header.get("shape")
+    if not (isinstance(shape, tuple) and len(shape) == 2):
+        raise ArtifactError(f"rows.npy: expected a (b, r) matrix, got {shape}")
+    data = blob[offset + header_len:]
+    rows = array("i")
+    rows.frombytes(data[: 4 * shape[0] * shape[1]])
+    if len(rows) != shape[0] * shape[1]:
+        raise ArtifactError("rows.npy: truncated row data")
+    swap = (descr == ">i4") != (sys.byteorder == "big")
+    if swap:  # pragma: no cover - no big-endian CI leg
+        rows.byteswap()
+    return rows, shape
+
+
+def save_npz(placement: Placement, path: str) -> None:
+    """Write ``placement`` as a ``.npz`` artifact (versioned, checksummed)."""
+    row_data = _row_bytes_le(placement)
+    header = {
+        "format": PLACEMENT_FORMAT,
+        "version": PLACEMENT_VERSION,
+        "n": placement.n,
+        "b": placement.b,
+        "r": placement.r,
+        "strategy": placement.strategy,
+        "sha256": hashlib.sha256(row_data).hexdigest(),
+    }
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        archive.writestr("header.json", json.dumps(header, indent=1) + "\n")
+        archive.writestr(
+            "rows.npy", _npy_bytes(row_data, placement.b, placement.r)
+        )
+
+
+def load_npz(path: str, validate: bool = False) -> Placement:
+    """Read a ``.npz`` placement artifact written by :func:`save_npz`.
+
+    The rows checksum is always verified; ``validate=True`` additionally
+    re-runs the full structural validation. The default trusts the
+    artifact — the checksum only proves the bytes are the ones that were
+    written, not that a well-behaved writer produced them — so this
+    function is for artifacts *this program wrote* (the memoized reload
+    path). Boundary code loading files of unknown provenance goes
+    through :func:`load_placement`, which validates by default.
+    """
+    try:
+        with zipfile.ZipFile(path) as archive:
+            names = set(archive.namelist())
+            if "header.json" not in names or "rows.npy" not in names:
+                raise ArtifactError(
+                    f"{path}: not a placement artifact "
+                    f"(members: {sorted(names)})"
+                )
+            header = json.loads(archive.read("header.json"))
+            blob = archive.read("rows.npy")
+    except zipfile.BadZipFile as exc:
+        raise ArtifactError(f"{path}: not a zip archive: {exc}") from None
+    if header.get("format") != PLACEMENT_FORMAT:
+        raise ArtifactError(
+            f"{path}: unknown artifact format {header.get('format')!r}"
+        )
+    if int(header.get("version", -1)) > PLACEMENT_VERSION:
+        raise ArtifactError(
+            f"{path}: artifact version {header.get('version')} is newer "
+            f"than supported version {PLACEMENT_VERSION}"
+        )
+    rows, shape = _parse_npy(blob)
+    try:
+        n = int(header["n"])
+        b, r = int(header["b"]), int(header["r"])
+        expected_digest = header["sha256"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"{path}: malformed artifact header: {exc!r}"
+        ) from None
+    if shape != (b, r):
+        raise ArtifactError(
+            f"{path}: header says ({b}, {r}) but rows.npy holds {shape}"
+        )
+    row_data = rows.tobytes()
+    if sys.byteorder == "big":  # pragma: no cover - no big-endian CI leg
+        swapped = array("i", rows)
+        swapped.byteswap()
+        row_data = swapped.tobytes()
+    digest = hashlib.sha256(row_data).hexdigest()
+    if digest != expected_digest:
+        raise ArtifactError(
+            f"{path}: rows checksum mismatch (corrupt artifact)"
+        )
+    return Placement.from_arrays(
+        n,
+        rows,
+        r=r,
+        strategy=str(header.get("strategy", "")),
+        validate=validate,
+    )
+
+
+def save_placement(placement: Placement, path: str) -> None:
+    """Write a placement artifact; format chosen by extension.
+
+    ``.npz`` gets the binary format; anything else gets the JSON snapshot
+    (:meth:`Placement.to_dict`).
+    """
+    if path.endswith(".npz"):
+        save_npz(placement, path)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(placement.to_dict(), handle)
+        handle.write("\n")
+
+
+def load_placement(path: str, validate: Optional[bool] = None) -> Placement:
+    """Read a placement artifact; format chosen by extension.
+
+    This is the boundary loader (the CLI routes through it), so rows are
+    fully validated by default for both formats — a checksum-consistent
+    ``.npz`` from an unknown writer can still hold out-of-range or
+    duplicate node ids, which would otherwise reach the kernels' C index
+    paths unchecked. Internal reload paths that wrote the artifact
+    themselves pass ``validate=False`` (or call :func:`load_npz`
+    directly) to skip the O(b r) re-check.
+    """
+    if path.endswith(".npz"):
+        return load_npz(path, validate=True if validate is None else validate)
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"{path}: not valid JSON: {exc}") from None
+    try:
+        return Placement.from_dict(payload)
+    except (KeyError, TypeError) as exc:
+        raise ArtifactError(
+            f"{path}: missing placement fields: {exc}"
+        ) from None
+    except PlacementError:
+        raise

@@ -9,8 +9,12 @@ learned. This engine instead keeps a *warm, persistent pipeline*:
 
 * :class:`AttackEngine` holds the node-major
   :class:`~repro.core.kernels.Incidence`, one damage kernel per fatality
-  threshold ``s``, and a bounded memo of finished attacks. Engines are
-  cached per process keyed by :meth:`Placement.fingerprint`, so repeated
+  threshold ``s``, and a bounded memo of finished attacks. The incidence
+  ingests the placement's cached CSR arrays zero-copy (see
+  :meth:`Placement.node_csr`), so engine construction does no per-object
+  set walking, and the cache key — :meth:`Placement.fingerprint` — is a
+  single sha256 over the raw row buffer. Engines are
+  cached per process keyed by that fingerprint, so repeated
   ``batch_attack`` calls — and even *distinct but structurally equal*
   placement objects, e.g. fresh cluster snapshots of an unchanged
   population — reuse kernel state instead of rebuilding it;

@@ -191,11 +191,7 @@ class ComboStrategy:
             placement = part if placement is None else placement.concatenated_with(part)
         if placement is None:
             raise AssertionError("plan placed no objects")
-        return Placement(
-            n=placement.n,
-            replica_sets=placement.replica_sets,
-            strategy=f"Combo(s={self.s})",
-        )
+        return placement.relabeled(f"Combo(s={self.s})")
 
     def __repr__(self) -> str:
         return (

@@ -52,7 +52,8 @@ from __future__ import annotations
 import os
 from array import array
 from contextlib import contextmanager
-from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from itertools import chain as _chain
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import native as _native
 from repro.core.placement import Placement
@@ -187,11 +188,13 @@ class Incidence:
     def node_masks(self) -> List[int]:
         """``masks[node]`` has bit ``o`` set iff object ``o`` lives there."""
         if self._masks is None:
+            node_off, node_objs = self.placement.node_csr()
             masks = [0] * self.n
-            for obj_id, nodes in enumerate(self.placement.replica_sets):
-                bit = 1 << obj_id
-                for node in nodes:
-                    masks[node] |= bit
+            for node in range(self.n):
+                mask = 0
+                for obj_id in node_objs[node_off[node]:node_off[node + 1]]:
+                    mask |= 1 << obj_id
+                masks[node] = mask
             self._masks = masks
         return self._masks
 
@@ -222,9 +225,8 @@ class Incidence:
         """Object-by-node ``int16`` incidence matrix (numpy only)."""
         if self._matrix is None:
             matrix = _np.zeros((self.b, self.n), dtype=_np.int16)
-            for obj_id, nodes in enumerate(self.placement.replica_sets):
-                for node in nodes:
-                    matrix[obj_id, node] = 1
+            rows = self.placement.replica_matrix()
+            matrix[_np.arange(self.b)[:, None], rows] = 1
             self._matrix = matrix
         return self._matrix
 
@@ -253,10 +255,12 @@ class Incidence:
     def suffix_counts(self) -> List[List[int]]:
         """Pure-python twin of :meth:`suffix_matrix`."""
         if self._suffix_counts is None:
+            flat = self.placement.replica_array()
+            r = self.placement.r
             rows = [[0] * (self.n + 1) for _ in range(self.b)]
-            for obj_id, nodes in enumerate(self.placement.replica_sets):
+            for obj_id in range(self.b):
                 row = rows[obj_id]
-                for node in nodes:
+                for node in flat[obj_id * r:(obj_id + 1) * r]:
                     row[node] += 1
                 for j in range(self.n - 1, -1, -1):
                     row[j] += row[j + 1]
@@ -268,8 +272,10 @@ class Incidence:
     def object_nodes(self) -> Tuple[Tuple[int, ...], ...]:
         """For each object, its replica nodes in ascending order."""
         if self._object_nodes is None:
+            flat = self.placement.replica_array()
+            r = self.placement.r
             self._object_nodes = tuple(
-                tuple(sorted(nodes)) for nodes in self.placement.replica_sets
+                tuple(flat[i:i + r]) for i in range(0, self.b * r, r)
             )
         return self._object_nodes
 
@@ -284,19 +290,25 @@ class Incidence:
         segments and absorb churn in place. Here the layout is tight
         (``node_end[v] == node_off[v + 1]``) and object offsets carry one
         trailing sentinel.
+
+        Zero-copy with the array-native placement core: ``node_objs`` is
+        the placement's cached CSR buffer and ``obj_nodes`` is the raw
+        row-sorted ``(b, r)`` buffer itself (object offsets are the
+        arithmetic progression with stride ``r``) — nothing is re-derived
+        from per-object sets.
         """
         if self._csr is None:
-            node_off = array("i", [0])
-            node_objs = array("i")
-            for objs in self.node_objects():
-                node_objs.extend(objs)
-                node_off.append(len(node_objs))
+            node_off, node_objs = self.placement.node_csr()
             node_end = node_off[1:]
-            obj_off = array("i", [0])
-            obj_nodes = array("i")
-            for nodes in self.object_nodes():
-                obj_nodes.extend(nodes)
-                obj_off.append(len(obj_nodes))
+            r = self.placement.r
+            if _np is not None:
+                obj_off = array("i")
+                obj_off.frombytes(
+                    (_np.arange(self.b + 1, dtype=_np.int32) * r).tobytes()
+                )
+            else:
+                obj_off = array("i", range(0, (self.b + 1) * r, r))
+            obj_nodes = self.placement.replica_array()
             self._csr = (node_off, node_end, node_objs, obj_off, obj_nodes)
         return self._csr
 
@@ -311,18 +323,24 @@ class Incidence:
         return self._suffix_flat
 
     def object_nodes_matrix(self):
-        """``(b, r)`` int64 matrix of replica nodes (numpy gain backing)."""
+        """``(b, r)`` index matrix of replica nodes (numpy gain backing).
+
+        A zero-copy int32 view over the placement's row buffer.
+        """
         if self._obj_nodes_np is None:
-            self._obj_nodes_np = _np.array(
-                self.object_nodes(), dtype=_np.intp
-            ).reshape(self.b, self.placement.r)
+            self._obj_nodes_np = self.placement.replica_matrix()
         return self._obj_nodes_np
 
     def node_objects_arrays(self):
-        """Per-node object-id index arrays (numpy gain backing)."""
+        """Per-node object-id index arrays (numpy gain backing).
+
+        Zero-copy slices of the placement's CSR object list.
+        """
         if self._node_objs_np is None:
+            node_off, node_objs = self.placement.node_csr()
+            flat = _np.frombuffer(node_objs, dtype=_np.int32)
             self._node_objs_np = [
-                _np.array(objs, dtype=_np.intp) for objs in self.node_objects()
+                flat[node_off[v]:node_off[v + 1]] for v in range(self.n)
             ]
         return self._node_objs_np
 
@@ -383,14 +401,16 @@ class DeltaIncidence(Incidence):
     def __init__(self, placement: Placement) -> None:
         super().__init__(placement)
         self.r = placement.r
-        self._replica_sets: List[FrozenSet[int]] = list(placement.replica_sets)
+        flat = placement.replica_array()
+        r = placement.r
+        node_off, node_objs = placement.node_csr()
         self._node_objs: List[List[int]] = [
-            list(row) for row in placement.node_incidence()
+            list(node_objs[node_off[v]:node_off[v + 1]]) for v in range(self.n)
         ]
         self._obj_nodes: List[Tuple[int, ...]] = [
-            tuple(sorted(nodes)) for nodes in placement.replica_sets
+            tuple(flat[i:i + r]) for i in range(0, self.b * r, r)
         ]
-        self._loads: List[int] = list(placement.load_profile())
+        self._loads: List[int] = list(placement.load_array())
         masks = [0] * self.n
         for obj_id, nodes in enumerate(self._obj_nodes):
             bit = 1 << obj_id
@@ -482,12 +502,12 @@ class DeltaIncidence(Incidence):
         if len(set(removed_ids)) != len(removed_ids):
             raise ValueError(f"duplicate removal ids in {sorted(removed)}")
         for obj_id in removed_ids:
-            if not 0 <= obj_id < len(self._replica_sets):
+            if not 0 <= obj_id < len(self._obj_nodes):
                 raise ValueError(
                     f"cannot remove object {obj_id}: ids span "
-                    f"[0, {len(self._replica_sets)})"
+                    f"[0, {len(self._obj_nodes)})"
                 )
-        if len(self._replica_sets) - len(removed_ids) + len(added_sets) == 0:
+        if len(self._obj_nodes) - len(removed_ids) + len(added_sets) == 0:
             raise ValueError("delta would leave the placement empty")
 
         masks, node_objs, loads = self._masks, self._node_objs, self._loads
@@ -512,7 +532,7 @@ class DeltaIncidence(Incidence):
                             store[i] = store[tail]
                             break
                     node_end[node] = tail
-            last = len(self._replica_sets) - 1
+            last = len(self._obj_nodes) - 1
             if obj_id != last:
                 moved = self._obj_nodes[last]
                 last_bit = 1 << last
@@ -526,15 +546,13 @@ class DeltaIncidence(Incidence):
                                 store[i] = obj_id
                                 break
                 self._obj_nodes[obj_id] = moved
-                self._replica_sets[obj_id] = self._replica_sets[last]
                 if csr is not None:
                     obj_nodes_flat[obj_id * r:(obj_id + 1) * r] = (
                         obj_nodes_flat[last * r:(last + 1) * r]
                     )
             self._obj_nodes.pop()
-            self._replica_sets.pop()
         for node_tuple in added_sets:
-            obj_id = len(self._replica_sets)
+            obj_id = len(self._obj_nodes)
             bit = 1 << obj_id
             if csr is not None:
                 if (obj_id + 1) * r > len(obj_nodes_flat):
@@ -555,15 +573,18 @@ class DeltaIncidence(Incidence):
                         store[end] = obj_id
                         node_end[node] = end + 1
             self._obj_nodes.append(node_tuple)
-            self._replica_sets.append(frozenset(node_tuple))
 
-        self.b = len(self._replica_sets)
+        self.b = len(self._obj_nodes)
+        # Snapshot straight into the trusted rows-backed constructor (the
+        # delta was validated here; rows are sorted tuples by invariant)
+        # and hand over the maintained load profile, so no later consumer
+        # pays an O(b r) revalidation or load rescan.
+        flat = array("i", _chain.from_iterable(self._obj_nodes))
         placement = Placement(
-            n=self.n,
-            replica_sets=tuple(self._replica_sets),
-            strategy=self.placement.strategy,
+            n=self.n, rows=flat, r=self.r, strategy=self.placement.strategy,
         )
-        object.__setattr__(placement, "_load_profile", tuple(loads))
+        placement.__dict__["_load"] = array("i", loads)
+        placement.__dict__["_load_profile"] = tuple(loads)
         self.placement = placement
         # Lazy aggregates are stale; drop them for on-demand rebuild.
         # (The padded CSR is NOT dropped — it was maintained above.)
@@ -956,15 +977,32 @@ class GainKernel(DamageKernel):
 
     def __init__(self, incidence: Incidence, s: int) -> None:
         super().__init__(incidence, s)
-        self.node_objects = incidence.node_objects()
-        self.object_nodes = incidence.object_nodes()
+        # The per-object/per-node Python structures are bound lazily: the
+        # python and bitset backings walk them on every move, but the
+        # native and numpy backings never touch them (they consume the
+        # packed CSR / index arrays), and forcing the tuple views would
+        # cost O(b r) object allocation at engine-build time.
+        self._node_objects = None
+        self._object_nodes = None
+
+    @property
+    def node_objects(self):
+        if self._node_objects is None:
+            self._node_objects = self.incidence.node_objects()
+        return self._node_objects
+
+    @property
+    def object_nodes(self):
+        if self._object_nodes is None:
+            self._object_nodes = self.incidence.object_nodes()
+        return self._object_nodes
 
     def rebind(self) -> bool:
         # Pure-python and bitset backings read the delta incidence's live
         # list structures; absorbing a delta is an O(1) shape refresh.
         self._refresh_shape()
-        self.node_objects = self.incidence.node_objects()
-        self.object_nodes = self.incidence.object_nodes()
+        self._node_objects = None
+        self._object_nodes = None
         return True
 
     # -- state ------------------------------------------------------------
@@ -1263,11 +1301,12 @@ class _NativeGainKernel(GainKernel):
     def _rebuild_template(self) -> None:
         # Template for empty state: zero counts, per-node degrees in the
         # gain slots when s == 1 (every object sits at s - 1 = 0 hits).
+        # Node degree == load (replicas are distinct per object), so the
+        # placement's cached load array serves without materializing the
+        # per-node object lists.
         template = array("i", bytes(4 * (self.b + self.n + 1)))
         if self.s == 1:
-            template[self.b:self.b + self.n] = array(
-                "i", [len(objs) for objs in self.node_objects]
-            )
+            template[self.b:self.b + self.n] = self.placement.load_array()
         self._empty_template = template.tobytes()
 
     def rebind(self) -> bool:

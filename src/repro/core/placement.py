@@ -4,176 +4,485 @@ A placement ``pi : O -> 2^N`` (paper Sec. III) assigns each object a set of
 ``r`` distinct nodes. This module is deliberately strategy-agnostic: Simple,
 Combo and Random builders all produce the same type, and the adversary,
 availability evaluation and cluster simulator consume only this type.
+
+Storage is *array-native*: the canonical representation is one flat,
+row-major ``array('i')`` of shape ``(b, r)`` with every row sorted
+ascending — 4 bytes per replica instead of a Python ``frozenset`` per
+object (~200 bytes each plus per-element boxes). Everything downstream
+derives from that buffer:
+
+* ``replica_matrix()`` — a zero-copy numpy ``(b, r)`` int32 view (when
+  numpy is importable);
+* ``node_csr()`` — the cached node -> objects incidence in CSR form
+  (``node_off``/``node_objs`` int32 arrays), shared zero-copy with the
+  damage kernels in :mod:`repro.core.kernels`;
+* ``load_array()`` — per-node replica counts as an int32 array;
+* ``fingerprint()`` — one ``sha256.update`` over the raw buffer.
+
+The historical frozenset-facing API (``replica_sets``, ``node_incidence``)
+remains as lazily built *views*, so existing call sites keep working; new
+code and the hot engines consume the arrays. Builders use
+:meth:`Placement.from_arrays` (with ``validate=False`` on trusted paths)
+so a million-object placement never materializes a million sets.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from array import array
+from itertools import chain
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+try:  # optional accelerator for bulk validation / CSR construction
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    _np = None
+
+# The native kernels and the artifact format assume array('i') is int32,
+# which holds on every supported platform (CPython on 32/64-bit Linux,
+# macOS, Windows).
+assert array("i").itemsize == 4, "array('i') must be 32-bit"
 
 
 class PlacementError(ValueError):
     """Raised when replica sets violate placement rules."""
 
 
-@dataclass(frozen=True)
+def _np_rows(flat: array, b: int, r: int):
+    """Zero-copy numpy ``(b, r)`` int32 view over the flat buffer."""
+    return _np.frombuffer(flat, dtype=_np.int32).reshape(b, r)
+
+
 class Placement:
     """An immutable placement of ``b`` objects on ``n`` nodes.
 
-    ``replica_sets[i]`` is the node set hosting object ``i``. Every replica
-    set has the same size ``r`` and every node index lies in ``[0, n)``.
+    Object ``i``'s replicas live on the sorted node row
+    ``rows[i*r : (i+1)*r]`` of the backing buffer; ``replica_sets[i]`` is
+    the equivalent frozenset view. Instances are immutable by convention:
+    the backing buffer must never be written after construction (derived
+    caches, kernel bindings and fingerprints all assume it).
     """
 
-    n: int
-    replica_sets: Tuple[FrozenSet[int], ...]
-    strategy: str = ""
+    def __init__(
+        self,
+        n: int,
+        replica_sets: Optional[Iterable[FrozenSet[int]]] = None,
+        strategy: str = "",
+        rows: Optional[array] = None,
+        r: Optional[int] = None,
+    ) -> None:
+        """Non-validating constructor (the historical dataclass behaviour).
+
+        Exactly one of ``replica_sets`` (iterable of node sets, trusted)
+        or ``rows`` (flat row-sorted ``array('i')`` plus ``r``, trusted —
+        ownership transfers to the placement) must be provided. External
+        callers should prefer :meth:`from_replica_sets` /
+        :meth:`from_arrays`, which validate.
+        """
+        self.n = n
+        self.strategy = strategy
+        if rows is not None:
+            if r is None or r <= 0:
+                raise PlacementError("rows-backed construction needs r >= 1")
+            if len(rows) % r:
+                raise PlacementError(
+                    f"flat rows length {len(rows)} is not a multiple of r={r}"
+                )
+            self._rows: Optional[array] = rows
+            self._b = len(rows) // r
+            self._r = r
+            self._sets: Optional[Tuple[FrozenSet[int], ...]] = None
+        elif replica_sets is not None:
+            sets = tuple(replica_sets)
+            if not sets:
+                raise PlacementError("a placement needs at least one object")
+            self._rows = None
+            self._sets = sets
+            self._b = len(sets)
+            self._r = len(sets[0])
+        else:
+            raise PlacementError("Placement needs replica_sets or rows")
+        if self._b == 0:
+            raise PlacementError("a placement needs at least one object")
+
+    # -- constructors ------------------------------------------------------
 
     @staticmethod
     def from_replica_sets(
         n: int, replica_sets: Iterable[Iterable[int]], strategy: str = ""
     ) -> "Placement":
-        frozen: List[FrozenSet[int]] = []
+        """Validate per-object node iterables into a placement."""
+        flat = array("i")
         r = None
+        obj_id = -1
         for obj_id, nodes in enumerate(replica_sets):
-            node_list = list(nodes)
-            node_set = frozenset(node_list)
-            if len(node_set) != len(node_list):
-                raise PlacementError(
-                    f"object {obj_id} places multiple replicas on one node: "
-                    f"{sorted(node_list)}"
-                )
+            node_list = sorted(nodes)
             if r is None:
-                r = len(node_set)
+                r = len(node_list)
                 if r == 0:
                     raise PlacementError("objects need at least one replica")
-            if len(node_set) != r:
+            if len(node_list) != r:
                 raise PlacementError(
-                    f"object {obj_id} has {len(node_set)} replicas, expected {r}"
+                    f"object {obj_id} has {len(node_list)} replicas, expected {r}"
                 )
-            for node in node_set:
+            if node_list[0] < 0 or node_list[-1] >= n:
+                bad = node_list[0] if node_list[0] < 0 else node_list[-1]
+                raise PlacementError(
+                    f"object {obj_id} places a replica on node {bad}, "
+                    f"outside [0, {n})"
+                )
+            for i in range(1, r):
+                if node_list[i] == node_list[i - 1]:
+                    raise PlacementError(
+                        f"object {obj_id} places multiple replicas on one "
+                        f"node: {node_list}"
+                    )
+            flat.extend(node_list)
+        if obj_id < 0:
+            raise PlacementError("a placement needs at least one object")
+        return Placement(n=n, rows=flat, r=r, strategy=strategy)
+
+    @staticmethod
+    def from_arrays(
+        n: int,
+        rows,
+        r: Optional[int] = None,
+        strategy: str = "",
+        validate: bool = True,
+    ) -> "Placement":
+        """Array-native constructor: the builders' and loaders' fast path.
+
+        ``rows`` may be a numpy ``(b, r)`` integer matrix, a flat
+        ``array('i')`` (requires ``r``), or a sequence of node sequences.
+        With ``validate=True`` rows are copied/normalized (sorted
+        ascending) and checked for distinct in-range nodes — O(b r) bulk
+        work, vectorized under numpy. With ``validate=False`` the input is
+        **trusted**: rows must already be row-sorted, duplicate-free and
+        in ``[0, n)``, and flat-array input is adopted without copying —
+        the path used by internal builders and checksum-verified artifact
+        reloads, where re-validation would be pure overhead.
+        """
+        if _np is not None and isinstance(rows, _np.ndarray):
+            if rows.ndim != 2:
+                raise PlacementError(
+                    f"rows matrix must be 2-D (b, r), got shape {rows.shape}"
+                )
+            width = int(rows.shape[1])
+            if r is not None and r != width:
+                raise PlacementError(f"r={r} does not match matrix width {width}")
+            matrix = _np.ascontiguousarray(rows, dtype=_np.int32)
+            if validate:
+                if matrix is rows:
+                    matrix = matrix.copy()
+                matrix.sort(axis=1)
+            flat = array("i")
+            flat.frombytes(matrix.tobytes())
+            placement = Placement(n=n, rows=flat, r=width, strategy=strategy)
+        elif isinstance(rows, array) and rows.typecode == "i":
+            if r is None:
+                raise PlacementError("flat array rows need an explicit r")
+            flat = array("i", rows) if validate else rows
+            placement = Placement(n=n, rows=flat, r=r, strategy=strategy)
+            if validate:
+                placement._sort_rows()
+        else:
+            row_list = rows if isinstance(rows, (list, tuple)) else list(rows)
+            if validate:
+                return Placement.from_replica_sets(n, row_list, strategy=strategy)
+            if not row_list:
+                raise PlacementError("a placement needs at least one object")
+            width = len(row_list[0])
+            flat = array("i", chain.from_iterable(row_list))
+            placement = Placement(n=n, rows=flat, r=width, strategy=strategy)
+        if validate:
+            placement._validate_rows()
+        return placement
+
+    def _sort_rows(self) -> None:
+        """Sort each row of the (owned, pre-publication) buffer ascending."""
+        flat, b, r = self._rows, self._b, self._r
+        if r == 1:
+            return
+        if _np is not None:
+            _np_rows(flat, b, r).sort(axis=1)
+            return
+        for i in range(0, b * r, r):
+            row = sorted(flat[i:i + r])
+            flat[i:i + r] = array("i", row)
+
+    def _validate_rows(self) -> None:
+        """Check distinct, in-range nodes per (already sorted) row."""
+        flat, b, r, n = self._rows, self._b, self._r, self.n
+        if _np is not None:
+            matrix = _np_rows(flat, b, r)
+            low = matrix[:, 0] < 0
+            high = matrix[:, -1] >= n
+            if low.any() or high.any():
+                obj_id = int(_np.argmax(low | high))
+                bad = int(matrix[obj_id, 0] if low[obj_id] else matrix[obj_id, -1])
+                raise PlacementError(
+                    f"object {obj_id} places a replica on node {bad}, "
+                    f"outside [0, {n})"
+                )
+            if r > 1:
+                dup = (matrix[:, 1:] == matrix[:, :-1]).any(axis=1)
+                if dup.any():
+                    obj_id = int(_np.argmax(dup))
+                    raise PlacementError(
+                        f"object {obj_id} places multiple replicas on one "
+                        f"node: {matrix[obj_id].tolist()}"
+                    )
+            return
+        for obj_id in range(b):
+            base = obj_id * r
+            previous = -1
+            for offset in range(r):
+                node = flat[base + offset]
                 if not 0 <= node < n:
                     raise PlacementError(
                         f"object {obj_id} places a replica on node {node}, "
                         f"outside [0, {n})"
                     )
-            frozen.append(node_set)
-        if not frozen:
-            raise PlacementError("a placement needs at least one object")
-        return Placement(n=n, replica_sets=tuple(frozen), strategy=strategy)
+                if node == previous:
+                    raise PlacementError(
+                        f"object {obj_id} places multiple replicas on one "
+                        f"node: {list(flat[base:base + r])}"
+                    )
+                previous = node
+
+    # -- shape -------------------------------------------------------------
 
     @property
     def b(self) -> int:
         """Number of objects."""
-        return len(self.replica_sets)
+        return self._b
 
     @property
     def r(self) -> int:
         """Replicas per object."""
-        return len(self.replica_sets[0])
+        return self._r
+
+    # -- array accessors ----------------------------------------------------
+
+    def replica_array(self) -> array:
+        """The canonical flat ``(b * r,)`` int32 buffer (row-sorted).
+
+        Treat as read-only: kernels export zero-copy pointers into it.
+        """
+        if self._rows is None:
+            flat = array("i")
+            for nodes in self._sets:
+                flat.extend(sorted(nodes))
+            self._rows = flat
+        return self._rows
+
+    def replica_matrix(self):
+        """Zero-copy numpy ``(b, r)`` int32 view (requires numpy)."""
+        if _np is None:  # pragma: no cover - numpy-less guard
+            raise RuntimeError("replica_matrix requires numpy")
+        return _np_rows(self.replica_array(), self._b, self._r)
 
     def _cached(self, name: str, build):
-        # The dataclass is frozen but still carries a __dict__, so derived
-        # structures are memoized via object.__setattr__: every adversary
+        # Derived structures are memoized on the instance: every adversary
         # kernel and load query reuses one computation per placement.
         value = self.__dict__.get(name)
         if value is None:
             value = build()
-            object.__setattr__(self, name, value)
+            self.__dict__[name] = value
         return value
 
+    def load_array(self) -> array:
+        """Replicas hosted per node as an int32 array, computed once."""
+
+        def build() -> array:
+            flat = self.replica_array()
+            if _np is not None:
+                counts = _np.bincount(
+                    _np.frombuffer(flat, dtype=_np.int32), minlength=self.n
+                ).astype(_np.int32)
+                loads = array("i")
+                loads.frombytes(counts.tobytes())
+                return loads
+            loads = array("i", bytes(4 * self.n))
+            for node in flat:
+                loads[node] += 1
+            return loads
+
+        return self._cached("_load", build)
+
     def load_profile(self) -> Tuple[int, ...]:
-        """Replicas hosted per node, computed once per placement."""
-
-        def build() -> Tuple[int, ...]:
-            loads = [0] * self.n
-            for nodes in self.replica_sets:
-                for node in nodes:
-                    loads[node] += 1
-            return tuple(loads)
-
-        return self._cached("_load_profile", build)
+        """Replicas hosted per node, as a tuple (compat view)."""
+        return self._cached("_load_profile", lambda: tuple(self.load_array()))
 
     def loads(self) -> List[int]:
         """Replicas hosted per node (the load-balance profile)."""
-        return list(self.load_profile())
+        return list(self.load_array())
 
     def max_load(self) -> int:
-        return max(self.load_profile())
+        return max(self.load_array())
 
-    def objects_on(self, node: int) -> List[int]:
-        """Ids of objects with a replica on ``node``."""
-        if not 0 <= node < self.n:
-            raise PlacementError(f"node {node} outside [0, {self.n})")
-        return list(self.node_incidence()[node])
+    def node_csr(self) -> Tuple[array, array]:
+        """Node -> objects incidence as ``(node_off, node_objs)`` CSR arrays.
+
+        ``node_objs[node_off[v] : node_off[v + 1]]`` lists the objects
+        hosted on node ``v`` in ascending object-id order (``node_off``
+        has ``n + 1`` entries). Built once per placement with a counting
+        sort (stable argsort under numpy) and shared zero-copy with every
+        damage kernel bound to this placement.
+        """
+
+        def build() -> Tuple[array, array]:
+            flat = self.replica_array()
+            n, r = self.n, self._r
+            if _np is not None:
+                cols = _np.frombuffer(flat, dtype=_np.int32)
+                counts = _np.bincount(cols, minlength=n)
+                node_off_np = _np.zeros(n + 1, dtype=_np.int32)
+                _np.cumsum(counts, out=node_off_np[1:], dtype=_np.int32)
+                # Stable sort keeps flat order within one node value, i.e.
+                # ascending object id — the order every kernel expects.
+                order = _np.argsort(cols, kind="stable")
+                objs = (order // r).astype(_np.int32)
+                node_off = array("i")
+                node_off.frombytes(node_off_np.tobytes())
+                node_objs = array("i")
+                node_objs.frombytes(objs.tobytes())
+                return node_off, node_objs
+            loads = self.load_array()
+            node_off = array("i", bytes(4 * (n + 1)))
+            total = 0
+            for node in range(n):
+                node_off[node] = total
+                total += loads[node]
+            node_off[n] = total
+            cursor = list(node_off[:n])
+            node_objs = array("i", bytes(4 * total))
+            for index, node in enumerate(flat):
+                node_objs[cursor[node]] = index // r
+                cursor[node] += 1
+            return node_off, node_objs
+
+        return self._cached("_node_csr", build)
+
+    # -- frozenset-facing views ---------------------------------------------
+
+    @property
+    def replica_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """``replica_sets[i]`` is the node set hosting object ``i`` (view)."""
+        if self._sets is None:
+            flat, r = self._rows, self._r
+            self._sets = tuple(
+                frozenset(flat[i:i + r]) for i in range(0, self._b * r, r)
+            )
+        return self._sets
 
     def node_incidence(self) -> Tuple[Tuple[int, ...], ...]:
         """Inverse map, computed once per placement: node -> hosted objects.
 
-        The cached tuples are shared between every damage kernel built on
-        this placement; use :meth:`node_to_objects` for mutable copies.
+        A tuple view over :meth:`node_csr`; the cached tuples are shared
+        between every damage kernel built on this placement. Use
+        :meth:`node_to_objects` for mutable copies.
         """
 
         def build() -> Tuple[Tuple[int, ...], ...]:
-            table: List[List[int]] = [[] for _ in range(self.n)]
-            for obj_id, nodes in enumerate(self.replica_sets):
-                for node in nodes:
-                    table[node].append(obj_id)
-            return tuple(tuple(row) for row in table)
+            node_off, node_objs = self.node_csr()
+            return tuple(
+                tuple(node_objs[node_off[v]:node_off[v + 1]])
+                for v in range(self.n)
+            )
 
         return self._cached("_node_incidence", build)
 
     def node_to_objects(self) -> List[List[int]]:
         """Inverse map: for each node, the objects it hosts."""
-        return [list(row) for row in self.node_incidence()]
+        node_off, node_objs = self.node_csr()
+        return [
+            list(node_objs[node_off[v]:node_off[v + 1]]) for v in range(self.n)
+        ]
+
+    def objects_on(self, node: int) -> List[int]:
+        """Ids of objects with a replica on ``node``."""
+        if not 0 <= node < self.n:
+            raise PlacementError(f"node {node} outside [0, {self.n})")
+        node_off, node_objs = self.node_csr()
+        return list(node_objs[node_off[node]:node_off[node + 1]])
+
+    # -- digests -------------------------------------------------------------
 
     def fingerprint(self) -> str:
-        """A structural digest: equal iff (n, replica sets) are equal.
+        """A structural digest: equal iff ``(n, rows)`` are equal.
 
-        Computed once per placement. The batch engine keys its warm
-        attack-engine cache and result memo on this, so re-snapshotting an
-        unchanged cluster (or reloading the same placement JSON) reuses
-        incidence structures and prior attack results. The strategy label
-        is deliberately excluded — attacks depend only on structure.
+        One ``sha256.update`` over the raw int32 buffer (plus a shape
+        header) instead of ``b`` per-object string joins. The batch engine
+        keys its warm attack-engine cache and result memo on this, so
+        re-snapshotting an unchanged cluster (or reloading the same
+        placement artifact) reuses incidence structures and prior attack
+        results. The strategy label is deliberately excluded — attacks
+        depend only on structure.
         """
 
         def build() -> str:
             digest = hashlib.sha256()
-            digest.update(f"{self.n}:{len(self.replica_sets)}".encode())
-            for nodes in self.replica_sets:
-                digest.update(b"|")
-                digest.update(",".join(map(str, sorted(nodes))).encode())
+            digest.update(f"pla1:{self.n}:{self._b}:{self._r}|".encode())
+            digest.update(memoryview(self.replica_array()))
             return digest.hexdigest()
 
         return self._cached("_fingerprint", build)
 
+    # -- failure queries -----------------------------------------------------
+
+    def _hit_counts(self, failed_nodes: Iterable[int]):
+        """Per-object failed-replica counts via the cached incidence."""
+        failed = {
+            node for node in failed_nodes if 0 <= node < self.n
+        }
+        if _np is not None:
+            mask = _np.zeros(self.n, dtype=bool)
+            if failed:
+                mask[list(failed)] = True
+            return mask[self.replica_matrix()].sum(axis=1)
+        counts = [0] * self._b
+        node_off, node_objs = self.node_csr()
+        for node in failed:
+            for obj_id in node_objs[node_off[node]:node_off[node + 1]]:
+                counts[obj_id] += 1
+        return counts
+
     def failed_objects(self, failed_nodes: Iterable[int], s: int) -> List[int]:
         """Objects with at least ``s`` replicas on ``failed_nodes``."""
-        failed = frozenset(failed_nodes)
-        return [
-            obj_id
-            for obj_id, nodes in enumerate(self.replica_sets)
-            if len(nodes & failed) >= s
-        ]
+        counts = self._hit_counts(failed_nodes)
+        if _np is not None:
+            return _np.nonzero(counts >= s)[0].tolist()
+        return [obj_id for obj_id, c in enumerate(counts) if c >= s]
 
     def surviving_objects(self, failed_nodes: Iterable[int], s: int) -> List[int]:
         """Objects with fewer than ``s`` replicas on ``failed_nodes``."""
-        failed = frozenset(failed_nodes)
-        return [
-            obj_id
-            for obj_id, nodes in enumerate(self.replica_sets)
-            if len(nodes & failed) < s
-        ]
+        counts = self._hit_counts(failed_nodes)
+        if _np is not None:
+            return _np.nonzero(counts < s)[0].tolist()
+        return [obj_id for obj_id, c in enumerate(counts) if c < s]
+
+    # -- combinators ---------------------------------------------------------
 
     def restricted_to(self, object_ids: Sequence[int]) -> "Placement":
         """The sub-placement of the given objects (ids are re-numbered)."""
-        if not object_ids:
+        ids = list(object_ids)
+        if not ids:
             raise PlacementError("cannot restrict to zero objects")
-        return Placement(
-            n=self.n,
-            replica_sets=tuple(self.replica_sets[i] for i in object_ids),
-            strategy=self.strategy,
-        )
+        flat, b, r = self.replica_array(), self._b, self._r
+        if _np is not None:
+            sub = _np_rows(flat, b, r)[ids]
+            return Placement.from_arrays(
+                self.n, sub, strategy=self.strategy, validate=False
+            )
+        out = array("i")
+        for i in ids:
+            if i < 0:
+                i += b
+            if not 0 <= i < b:
+                raise IndexError(f"object id {i} outside [0, {b})")
+            out.extend(flat[i * r:(i + 1) * r])
+        return Placement(n=self.n, rows=out, r=r, strategy=self.strategy)
 
     def concatenated_with(self, other: "Placement") -> "Placement":
         """Both object populations on the same node set."""
@@ -190,25 +499,74 @@ class Placement:
         )
         return Placement(
             n=self.n,
-            replica_sets=self.replica_sets + other.replica_sets,
+            rows=self.replica_array() + other.replica_array(),
+            r=self._r,
             strategy=label,
         )
 
+    def relabeled(self, strategy: str) -> "Placement":
+        """Same structure under a new strategy label (buffer shared)."""
+        return Placement(
+            n=self.n, rows=self.replica_array(), r=self._r, strategy=strategy
+        )
+
+    # -- serialization -------------------------------------------------------
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-friendly snapshot (used by the cluster simulator's logs)."""
+        flat, r = self.replica_array(), self._r
         return {
             "n": self.n,
             "strategy": self.strategy,
-            "replica_sets": [sorted(nodes) for nodes in self.replica_sets],
+            "replica_sets": [
+                list(flat[i:i + r]) for i in range(0, self._b * r, r)
+            ],
         }
 
     @staticmethod
-    def from_dict(payload: Dict[str, object]) -> "Placement":
-        return Placement.from_replica_sets(
+    def from_dict(payload: Dict[str, object], validate: bool = True) -> "Placement":
+        return Placement.from_arrays(
             int(payload["n"]),
             payload["replica_sets"],  # type: ignore[arg-type]
             strategy=str(payload.get("strategy", "")),
+            validate=validate,
         )
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.strategy == other.strategy
+            and self._b == other._b
+            and self._r == other._r
+            and self.replica_array() == other.replica_array()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.strategy, self.fingerprint()))
+
+    def __getstate__(self):
+        # Pickle the compact buffer, never the frozenset views (workers
+        # rebuild views lazily, and most never need them).
+        return {
+            "n": self.n,
+            "strategy": self.strategy,
+            "r": self._r,
+            "rows": self.replica_array().tobytes(),
+        }
+
+    def __setstate__(self, state) -> None:
+        self.n = state["n"]
+        self.strategy = state["strategy"]
+        flat = array("i")
+        flat.frombytes(state["rows"])
+        self._rows = flat
+        self._r = state["r"]
+        self._b = len(flat) // state["r"]
+        self._sets = None
 
     def __repr__(self) -> str:
         label = f", strategy={self.strategy!r}" if self.strategy else ""

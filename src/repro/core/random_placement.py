@@ -17,6 +17,7 @@ two converge as the average load grows; the ablation benchmark
 from __future__ import annotations
 
 import random
+from array import array
 from typing import List, Optional
 
 from repro.core.placement import Placement, PlacementError
@@ -56,12 +57,16 @@ class RandomStrategy:
         rng.shuffle(slots)
         slots = slots[: self.r * b]
         # slots[:r*b] after a full shuffle is a uniform sample of slots; deal
-        # r consecutive slots to each object and repair duplicates.
+        # r consecutive slots to each object and repair duplicates. Rows go
+        # straight into the trusted array constructor (repair guarantees
+        # distinct nodes; we sort each window here).
         self._repair(slots, rng)
-        replica_sets = [
-            frozenset(slots[i * self.r : (i + 1) * self.r]) for i in range(b)
-        ]
-        return Placement.from_replica_sets(self.n, replica_sets, strategy="Random")
+        rows = array("i")
+        for i in range(b):
+            rows.extend(sorted(slots[i * self.r : (i + 1) * self.r]))
+        return Placement.from_arrays(
+            self.n, rows, r=self.r, strategy="Random", validate=False
+        )
 
     def _repair(self, slots: List[int], rng: random.Random) -> None:
         """Swap away duplicate nodes within any object's r consecutive slots.
@@ -127,5 +132,9 @@ class UnconstrainedRandomStrategy:
             raise ValueError(f"need b >= 1, got {b}")
         rng = rng or random.Random()
         population = range(self.n)
-        replica_sets = [frozenset(rng.sample(population, self.r)) for _ in range(b)]
-        return Placement.from_replica_sets(self.n, replica_sets, strategy="Random'")
+        rows = array("i")
+        for _ in range(b):
+            rows.extend(sorted(rng.sample(population, self.r)))
+        return Placement.from_arrays(
+            self.n, rows, r=self.r, strategy="Random'", validate=False
+        )

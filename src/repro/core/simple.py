@@ -19,7 +19,7 @@ from repro.designs.catalog import Existence, build
 from repro.designs.packing import (
     chunked_packing_blocks,
     sampled_distinct_subsets,
-    shuffled_design_blocks,
+    shuffled_design_rows,
 )
 
 
@@ -96,12 +96,22 @@ class SimpleStrategy:
         """
         if b < 1:
             raise ValueError(f"need b >= 1, got {b}")
-        blocks = self._realize_blocks(b)
-        return Placement.from_replica_sets(
-            self.n, blocks, strategy=f"Simple(x={self.x})"
+        # All realization paths emit sorted, validated-by-construction
+        # rows, so the placement takes the trusted array path — at large b
+        # this skips both per-object set creation and O(b r) revalidation.
+        return Placement.from_arrays(
+            self.n,
+            self._realize_rows(b),
+            r=self.r,
+            strategy=f"Simple(x={self.x})",
+            validate=False,
         )
 
-    def _realize_blocks(self, b: int) -> List[Block]:
+    def _realize_rows(self, b: int):
+        """The packing for ``b`` objects as a flat row-major int32 buffer."""
+        from array import array
+        from itertools import chain
+
         t = self.x + 1
         if t == self.r:
             # Trivial stratum: distinct r-subsets in seeded random order
@@ -119,7 +129,7 @@ class SimpleStrategy:
                     sampled_distinct_subsets(self.n, self.r, take, seed=copy_index)
                 )
                 copy_index += 1
-            return blocks
+            return array("i", chain.from_iterable(blocks))
         chunks = self.subsystem.chunks
         designs = []
         for chunk in chunks:
@@ -130,8 +140,10 @@ class SimpleStrategy:
                 )
             designs.append(build(chunk.nx, self.r, t))
         if len(designs) == 1:
-            return shuffled_design_blocks(designs[0], b)
-        return chunked_packing_blocks(designs, b, self.n)
+            return shuffled_design_rows(designs[0], b)
+        return array(
+            "i", chain.from_iterable(chunked_packing_blocks(designs, b, self.n))
+        )
 
     def __repr__(self) -> str:
         return (

@@ -119,8 +119,26 @@ class BlockDesign:
         return BlockDesign.from_blocks(v, blocks, name=self.name)
 
     def point_sets(self) -> List[FrozenSet[int]]:
-        """Blocks as frozensets (the shape placements consume)."""
+        """Blocks as frozensets (the historical set-facing view)."""
         return [frozenset(block) for block in self.blocks]
+
+    def rows_array(self):
+        """Blocks flattened row-major into an int32 buffer (cached).
+
+        The shape the array-native :class:`~repro.core.placement.Placement`
+        consumes: blocks are already sorted, so the buffer can feed
+        ``Placement.from_arrays(..., validate=False)`` and the row-gather
+        fast paths in :mod:`repro.designs.packing` directly.
+        """
+        from array import array
+
+        cached = self.__dict__.get("_rows_array")
+        if cached is None:
+            cached = array("i")
+            for block in self.blocks:
+                cached.extend(block)
+            object.__setattr__(self, "_rows_array", cached)
+        return cached
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

@@ -199,6 +199,19 @@ def build(v: int, r: int, t: int, trivial_prefix: Optional[int] = None) -> Block
                 f"pass trivial_prefix or use all_subsets_blocks()"
             )
         return trivial_design_prefix(v, r, limit)
+    return _build_nontrivial(v, r, t)
+
+
+@lru_cache(maxsize=64)
+def _build_nontrivial(v: int, r: int, t: int) -> BlockDesign:
+    """Memoized materialization of the algebraic constructions.
+
+    Designs are immutable, so repeated placements over one parameter set
+    (strategy sweeps, the adaptive simulator's per-stratum streams) share
+    a single instance — and with it the cached flat ``rows_array`` the
+    array-native placement builders gather from. Trivial designs are
+    excluded (their prefix parameter makes instances unbounded in size).
+    """
     return _resolve_builder(v, r, t)()
 
 

@@ -138,6 +138,50 @@ def shuffled_design_blocks(
     return blocks
 
 
+def shuffled_design_rows(
+    design: BlockDesign, num_blocks: int, seed: int = 0
+):
+    """Array-native :func:`shuffled_design_blocks`: the same packing, flat.
+
+    Shuffles block *indices* with the same derived generators (an equal
+    length list sees the identical permutation), then gathers rows from
+    the design's cached int32 buffer — a vectorized copy under numpy and
+    zero per-block tuple allocation either way. Returns a flat row-major
+    ``array('i')`` ready for ``Placement.from_arrays(validate=False)``.
+    """
+    if num_blocks < 0:
+        raise ValueError(f"num_blocks must be >= 0, got {num_blocks}")
+    from array import array
+
+    from repro.util.rng import derive_rng
+
+    try:
+        import numpy as _np
+    except ImportError:
+        _np = None
+
+    base = design.rows_array()
+    block_count = design.num_blocks
+    r = design.block_size
+    matrix = (
+        _np.frombuffer(base, dtype=_np.int32).reshape(block_count, r)
+        if _np is not None else None
+    )
+    rows = array("i")
+    copy_index = 0
+    while len(rows) < num_blocks * r:
+        order = list(range(block_count))
+        derive_rng(seed, "packing-copy", copy_index).shuffle(order)
+        take = min(block_count, num_blocks - len(rows) // r)
+        if matrix is not None:
+            rows.frombytes(matrix[order[:take]].tobytes())
+        else:
+            for index in order[:take]:
+                rows.extend(base[index * r:(index + 1) * r])
+        copy_index += 1
+    return rows
+
+
 def sampled_distinct_subsets(
     v: int, r: int, count: int, seed: int = 0
 ) -> List[Block]:

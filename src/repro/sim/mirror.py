@@ -127,7 +127,9 @@ class EngineMirror:
         """First flush with a live population: build the engine once."""
         assert not self._pending_remove, "removals without an engine"
         ids = list(self._pending_add)
-        placement = Placement.from_replica_sets(
+        # from_arrays validates (simulator processes are an untrusted
+        # boundary) but stays array-native — no frozensets at any scale.
+        placement = Placement.from_arrays(
             self.n,
             [self._pending_add[obj_id] for obj_id in ids],
             strategy=self.strategy_label,

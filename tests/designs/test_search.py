@@ -50,3 +50,54 @@ class TestSearch:
         design = search_steiner_system(5, 2, 2)
         assert design is not None
         assert design.num_blocks == 10  # all pairs
+
+
+class TestBudgetExhaustion:
+    """The node budget must surface as an exception, never as None.
+
+    ``None`` means "provably no such design exists"; a budget stop is a
+    different fact ("gave up undecided") and conflating the two would let
+    the catalog record false non-existence.
+    """
+
+    def test_budget_exhaustion_raises_not_none(self):
+        from repro.designs.exact_cover import SearchBudgetExceeded
+
+        with pytest.raises(SearchBudgetExceeded):
+            search_steiner_system(13, 3, 2, max_nodes=1)
+
+    def test_zero_budget_raises_immediately(self):
+        from repro.designs.exact_cover import SearchBudgetExceeded
+
+        with pytest.raises(SearchBudgetExceeded):
+            search_steiner_system(7, 3, 2, max_nodes=0)
+
+    def test_budget_large_enough_still_solves(self):
+        design = search_steiner_system(7, 3, 2, max_nodes=10_000)
+        assert design is not None
+        assert design.is_design(2, 1)
+
+    def test_divisibility_failure_beats_budget(self):
+        # The arithmetic shortcut decides 8 != 1,3 (mod 6) without ever
+        # expanding a node, so even a zero budget returns a clean None.
+        assert search_steiner_system(8, 3, 2, max_nodes=0) is None
+
+
+class TestSporadicOracleCrossCheck:
+    """S(2,3,13): DLX as an independent oracle against the algebraic catalog."""
+
+    def test_sts_13_against_catalog_construction(self):
+        from repro.designs.blocks import design_block_count
+        from repro.designs.catalog import build
+
+        found = search_steiner_system(13, 3, 2)
+        assert found is not None
+        assert found.is_design(2, 1)
+        algebraic = build(13, 3, 2)
+        assert algebraic.is_design(2, 1)
+        # Both realizations must agree on every counting invariant.
+        expected_blocks = design_block_count(13, 3, 2, 1)  # = 26
+        assert found.num_blocks == expected_blocks
+        assert algebraic.num_blocks == expected_blocks
+        assert found.replication_counts() == algebraic.replication_counts()
+        assert found.max_coverage(2) == algebraic.max_coverage(2) == 1

@@ -180,3 +180,77 @@ class TestCatalogCommand:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestNpzArtifacts:
+    def test_place_npz_attack_matches_json(self, tmp_path, capsys):
+        json_target = tmp_path / "placement.json"
+        npz_target = tmp_path / "placement.npz"
+        for target in (json_target, npz_target):
+            assert main([
+                "place", "--strategy", "random",
+                "--n", "12", "--r", "3", "--b", "24",
+                "--seed", "1", "--output", str(target),
+            ]) == 0
+        capsys.readouterr()
+        assert main([
+            "attack", str(json_target), "--k", "3", "--s", "2",
+            "--effort", "exact",
+        ]) == 0
+        json_out = capsys.readouterr().out
+        assert main([
+            "attack", str(npz_target), "--k", "3", "--s", "2",
+            "--effort", "exact",
+        ]) == 0
+        npz_out = capsys.readouterr().out
+        # Identical placement structure => bit-identical attack output.
+        assert npz_out == json_out
+        assert "certified optimal: yes" in npz_out
+
+    def test_place_format_npz_appends_extension(self, tmp_path, capsys):
+        target = tmp_path / "placement"
+        assert main([
+            "place", "--strategy", "random",
+            "--n", "12", "--r", "3", "--b", "10",
+            "--seed", "3", "--format", "npz", "--output", str(target),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "placement.npz" in err
+        from repro.core.artifact import load_placement
+
+        loaded = load_placement(str(target) + ".npz")
+        assert loaded.b == 10
+
+    def test_format_npz_without_output_fails(self, capsys):
+        assert main([
+            "place", "--strategy", "random",
+            "--n", "12", "--r", "3", "--b", "10", "--format", "npz",
+        ]) == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_audit_accepts_npz(self, tmp_path, capsys):
+        target = tmp_path / "placement.npz"
+        main([
+            "place", "--strategy", "random",
+            "--n", "12", "--r", "3", "--b", "24",
+            "--seed", "2", "--output", str(target),
+        ])
+        capsys.readouterr()
+        assert main([
+            "audit", str(target), "--k", "3", "--s", "2",
+        ]) == 0
+        assert "placement audit" in capsys.readouterr().out
+
+    def test_simulate_writes_final_placement(self, tmp_path, capsys):
+        target = tmp_path / "final.npz"
+        assert main([
+            "simulate", "--events", "220", "--measure-period", "0",
+            "--final-placement", str(target),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "final placement" in err
+        from repro.core.artifact import load_placement
+
+        snapshot = load_placement(str(target))
+        assert snapshot.b >= 1
+        assert snapshot.strategy == "snapshot"
