@@ -1,4 +1,4 @@
-"""Tiny-scale CI perf smoke: two floors the fast paths must never sink below.
+"""Tiny-scale CI perf smoke: floors the fast paths must never sink below.
 
 A guard, not a benchmark:
 
@@ -12,6 +12,13 @@ A guard, not a benchmark:
   re-implementation of the historical frozenset pipeline; fails if the
   array core is slower than the frozenset baseline or blows a generous
   wall-clock budget.
+* **sharded-runner floor** — the Fig. 7 experiment spec through the
+  declarative runner serially and with 2 worker processes; fails if the
+  results differ at all (sharding must be semantically invisible) or if
+  sharding costs more than pool overhead can explain — i.e. the fan-out
+  silently degraded into serialization-plus-copying. On multi-core
+  runners the sharded run must beat a modest ceiling below serial-plus-
+  overhead; single-core runners only gate the overhead bound.
 
 The real perf records (paper scale / million-object scale) live in
 ``bench_kernels.py`` / ``BENCH_2.json`` and ``bench_placement.py`` /
@@ -182,6 +189,61 @@ def placement_scale_gate(report: dict) -> int:
     return 0
 
 
+#: Sharded-runner gate: fixed pool-spawn/IPC allowance plus the ratio the
+#: sharded wall clock must stay under. On >= 2 cores a working fan-out
+#: lands well below serial; with a single core the work cannot overlap,
+#: so only the overhead bound applies.
+SHARD_OVERHEAD_SECONDS = 0.75
+SHARD_MULTI_CORE_RATIO = 1.10
+SHARD_SINGLE_CORE_RATIO = 2.00
+
+
+def exp_shard_gate(report: dict) -> int:
+    import os
+
+    from repro.analysis import fig7
+    from repro.core.batch import clear_attack_caches
+    from repro.exp.runner import run_experiment
+
+    spec = fig7.default_spec()
+    clear_attack_caches()
+    start = time.perf_counter()
+    serial = run_experiment(spec, workers=1)
+    serial_seconds = time.perf_counter() - start
+    clear_attack_caches()
+    start = time.perf_counter()
+    sharded = run_experiment(spec, workers=2)
+    sharded_seconds = time.perf_counter() - start
+    cores = os.cpu_count() or 1
+    ratio = SHARD_MULTI_CORE_RATIO if cores >= 2 else SHARD_SINGLE_CORE_RATIO
+    budget = serial_seconds * ratio + SHARD_OVERHEAD_SECONDS
+    report["exp_shard"] = {
+        "experiment": spec.experiment,
+        "cells": len(serial.cells),
+        "shards": serial.groups,
+        "cpu_count": cores,
+        "serial_seconds": round(serial_seconds, 4),
+        "sharded_seconds": round(sharded_seconds, 4),
+        "budget_seconds": round(budget, 4),
+        "bit_identical": serial.metrics == sharded.metrics,
+    }
+    if serial.metrics != sharded.metrics:
+        print(
+            "FAIL: sharded experiment results diverged from serial results",
+            file=sys.stderr,
+        )
+        return 1
+    if sharded_seconds > budget:
+        print(
+            f"FAIL: sharded runner took {sharded_seconds:.3f}s vs "
+            f"{serial_seconds:.3f}s serial (budget {budget:.3f}s, "
+            f"{cores} cores)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main() -> int:
     placement = RandomStrategy(N, 3).place(B, random.Random(0))
     gain = make_kernel(placement, S, backend="gain")
@@ -209,6 +271,7 @@ def main() -> int:
         "damages_agree": gain_damages == python_damages,
     }
     status = placement_scale_gate(report)
+    status = exp_shard_gate(report) or status
     print(json.dumps(report))
     if gain_damages != python_damages:
         print("FAIL: gain engine and python kernel disagree", file=sys.stderr)

@@ -29,6 +29,24 @@ FIG7_B_LADDER: List[int] = [150, 300, 600, 1200, 2400, 4800, 9600]
 PAPER_N_VALUES: List[int] = [31, 71, 257]
 
 
+def _int_knob(name: str, default: int) -> int:
+    """Parse an integer env knob, naming the variable on bad input.
+
+    A bare ``int()`` would raise an anonymous ``ValueError`` (e.g.
+    ``REPRO_REPS=many``) before any guarded range check runs; wrapping it
+    keeps the error actionable without knowing the call site.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
 def adversary_effort() -> str:
     """Adversary effort for simulation figures: fast (default), auto, exact."""
     effort = os.environ.get("REPRO_EFFORT", "fast")
@@ -39,7 +57,7 @@ def adversary_effort() -> str:
 
 def monte_carlo_reps(default: int = 5) -> int:
     """Monte-Carlo repetitions for Random-placement figures (paper used 20)."""
-    value = int(os.environ.get("REPRO_REPS", default))
+    value = _int_knob("REPRO_REPS", default)
     if value < 1:
         raise ValueError(f"REPRO_REPS must be >= 1, got {value}")
     return value
@@ -47,7 +65,7 @@ def monte_carlo_reps(default: int = 5) -> int:
 
 def object_scale_cap(default: int = 9600) -> int:
     """Cap on b for simulation-heavy figures (analysis figures ignore this)."""
-    value = int(os.environ.get("REPRO_B_MAX", default))
+    value = _int_knob("REPRO_B_MAX", default)
     if value < 1:
         raise ValueError(f"REPRO_B_MAX must be >= 1, got {value}")
     return value

@@ -5,6 +5,10 @@ improvement over Random achieved by pure Simple(1, lambda), pure
 Simple(2, lambda) (each with the minimal lambda of Eqn. 1, which the
 tables annotate), and the DP-optimized Combo. The Combo column dominates:
 it tracks whichever stratum wins and sometimes beats both by mixing.
+
+The registered ``fig10`` experiment sweeps all three cluster sizes in one
+spec (one shard per (n, b) row); :func:`generate` keeps the historical
+one-``n``-at-a-time signature on top of it.
 """
 
 from __future__ import annotations
@@ -18,6 +22,9 @@ from repro.core.combo import ComboStrategy
 from repro.core.rand_analysis import pr_avail_rnd
 from repro.core.subsystems import select_subsystem
 from repro.designs.catalog import Existence
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.tables import TextTable
 
 
@@ -65,6 +72,137 @@ class Fig10Result:
         return table.render()
 
 
+def _default_k_top(n: int) -> int:
+    return 6 if n == 31 else (7 if n == 71 else 8)
+
+
+def default_spec(
+    n_values: Tuple[int, ...] = (31, 71, 257),
+    r: int = 3,
+    s: int = 3,
+    x_values: Tuple[int, ...] = (1, 2),
+    k_values: Optional[Tuple[int, ...]] = None,
+    b_values: Tuple[int, ...] = tuple(PAPER_B_LADDER),
+    tier: Existence = Existence.KNOWN,
+) -> ExperimentSpec:
+    return ExperimentSpec.build(
+        "fig10",
+        axes={"b": b_values},
+        constants={
+            "n_values": list(n_values),
+            "r": r,
+            "s": s,
+            "x_values": list(x_values),
+            "k_values": list(k_values) if k_values is not None else None,
+            "tier": tier.name,
+        },
+    )
+
+
+def _k_values_for(spec: ExperimentSpec, n: int) -> Tuple[int, ...]:
+    explicit = spec.constant("k_values")
+    if explicit is not None:
+        return tuple(explicit)
+    return tuple(range(spec.constant("s"), _default_k_top(n) + 1))
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    return [
+        {"n": n, "b": b, "k": k}
+        for n in spec.constant("n_values")
+        for b in spec.axis("b")
+        for k in _k_values_for(spec, n)
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    n, b = cells[0]["n"], cells[0]["b"]
+    r, s = spec.constant("r"), spec.constant("s")
+    tier = Existence[spec.constant("tier")]
+    combo = ComboStrategy(n, r, s, tier=tier)
+    lambdas: Dict[int, int] = {}
+    for x in spec.constant("x_values"):
+        subsystem = select_subsystem(n, r, x, tier=tier)
+        if subsystem is not None:
+            lambdas[x] = subsystem.minimal_lambda(b)
+    out = []
+    for cell in cells:
+        k = cell["k"]
+        pr = pr_avail_rnd(n, k, r, s, b)
+        entry: Dict[str, object] = {
+            "pr": pr,
+            "combo_lb": combo.plan(b, k).lower_bound,
+        }
+        for x, lam in lambdas.items():
+            entry[f"x{x}_lam"] = lam
+            entry[f"x{x}_lb"] = lb_avail_simple(b, k, s, x, lam)
+        out.append(entry)
+    return out
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Tuple[Fig10Result, ...]:
+    r, s = spec.constant("r"), spec.constant("s")
+    x_values = tuple(spec.constant("x_values"))
+    by_cell = {
+        (cell["n"], cell["b"], cell["k"]): entry
+        for cell, entry in zip(cells, metrics)
+    }
+    results: List[Fig10Result] = []
+    for n in spec.constant("n_values"):
+        k_values = _k_values_for(spec, n)
+        rows: List[Fig10Row] = []
+        for b in spec.axis("b"):
+            simple_lambdas: Dict[int, int] = {}
+            simple_percent: Dict[int, Dict[int, float]] = {}
+            combo_percent: Dict[int, float] = {}
+            first = by_cell[(n, b, k_values[0])] if k_values else {}
+            for x in x_values:
+                if f"x{x}_lam" not in first:
+                    continue
+                simple_lambdas[x] = first[f"x{x}_lam"]
+                simple_percent[x] = {
+                    k: percent(
+                        by_cell[(n, b, k)][f"x{x}_lb"] - by_cell[(n, b, k)]["pr"],
+                        b - by_cell[(n, b, k)]["pr"],
+                    )
+                    for k in k_values
+                }
+            for k in k_values:
+                entry = by_cell[(n, b, k)]
+                combo_percent[k] = percent(
+                    entry["combo_lb"] - entry["pr"], b - entry["pr"]
+                )
+            rows.append(
+                Fig10Row(
+                    b=b,
+                    simple_lambdas=simple_lambdas,
+                    simple_percent=simple_percent,
+                    combo_percent=combo_percent,
+                )
+            )
+        results.append(
+            Fig10Result(
+                n=n, r=r, s=s, x_values=x_values, k_values=k_values,
+                rows=tuple(rows),
+            )
+        )
+    return tuple(results)
+
+
+KERNELS = {
+    "fig10": ExperimentKernel(
+        name="fig10",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["n"], cell["b"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda results: "\n\n".join(
+            result.render() for result in results
+        ),
+    )
+}
+
+
 def generate(
     n: int,
     r: int = 3,
@@ -74,40 +212,11 @@ def generate(
     b_values: Tuple[int, ...] = tuple(PAPER_B_LADDER),
     tier: Existence = Existence.KNOWN,
 ) -> Fig10Result:
-    if k_values is None:
-        top = 6 if n == 31 else (7 if n == 71 else 8)
-        k_values = tuple(range(s, top + 1))
-    combo = ComboStrategy(n, r, s, tier=tier)
-    subsystems = {x: select_subsystem(n, r, x, tier=tier) for x in x_values}
-    rows: List[Fig10Row] = []
-    for b in b_values:
-        simple_lambdas: Dict[int, int] = {}
-        simple_percent: Dict[int, Dict[int, float]] = {}
-        for x in x_values:
-            subsystem = subsystems[x]
-            if subsystem is None:
-                continue
-            lam = subsystem.minimal_lambda(b)
-            simple_lambdas[x] = lam
-            per_k: Dict[int, float] = {}
-            for k in k_values:
-                lb = lb_avail_simple(b, k, s, x, lam)
-                pr = pr_avail_rnd(n, k, r, s, b)
-                per_k[k] = percent(lb - pr, b - pr)
-            simple_percent[x] = per_k
-        combo_percent: Dict[int, float] = {}
-        for k in k_values:
-            lb = combo.plan(b, k).lower_bound
-            pr = pr_avail_rnd(n, k, r, s, b)
-            combo_percent[k] = percent(lb - pr, b - pr)
-        rows.append(
-            Fig10Row(
-                b=b,
-                simple_lambdas=simple_lambdas,
-                simple_percent=simple_percent,
-                combo_percent=combo_percent,
-            )
+    """Compatibility wrapper: one cluster size of the ``fig10`` sweep."""
+    (result,) = run_figure(
+        default_spec(
+            n_values=(n,), r=r, s=s, x_values=x_values,
+            k_values=k_values, b_values=b_values, tier=tier,
         )
-    return Fig10Result(
-        n=n, r=r, s=s, x_values=x_values, k_values=k_values, rows=tuple(rows)
     )
+    return result

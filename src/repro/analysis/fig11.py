@@ -13,6 +13,9 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.rand_analysis import lemma4_upper_bound
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.asciiplot import Series, line_plot
 from repro.util.tables import TextTable
 
@@ -58,15 +61,72 @@ def _render_plot(result: "Fig11Result", width: int = 64, height: int = 14) -> st
     )
 
 
+def default_spec(
+    b: int = 38400,
+    systems: Tuple[Tuple[int, int], ...] = ((71, 3), (71, 5), (257, 3), (257, 5)),
+    k_max: int = 10,
+) -> ExperimentSpec:
+    return ExperimentSpec.build(
+        "fig11",
+        axes={"k": list(range(1, k_max + 1))},
+        constants={"b": b, "systems": [[n, r] for n, r in systems]},
+    )
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    return [
+        {"n": n, "r": r, "k": k}
+        for n, r in spec.constant("systems")
+        for k in spec.axis("k")
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    b = spec.constant("b")
+    return [
+        {
+            "fraction": lemma4_upper_bound(
+                cell["n"], cell["k"], cell["r"], b
+            ) / b
+        }
+        for cell in cells
+    ]
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Fig11Result:
+    curves: dict = {}
+    order: List[Tuple[int, int]] = []
+    for cell, entry in zip(cells, metrics):
+        key = (cell["n"], cell["r"])
+        if key not in curves:
+            curves[key] = []
+            order.append(key)
+        curves[key].append((cell["k"], entry["fraction"]))
+    return Fig11Result(
+        b=spec.constant("b"),
+        series=tuple(
+            Fig11Series(n=n, r=r, points=tuple(curves[(n, r)]))
+            for n, r in order
+        ),
+    )
+
+
+KERNELS = {
+    "fig11": ExperimentKernel(
+        name="fig11",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["n"], cell["r"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda result: result.render(),
+    )
+}
+
+
 def generate(
     b: int = 38400,
     systems: Tuple[Tuple[int, int], ...] = ((71, 3), (71, 5), (257, 3), (257, 5)),
     k_max: int = 10,
 ) -> Fig11Result:
-    series: List[Fig11Series] = []
-    for n, r in systems:
-        points = tuple(
-            (k, lemma4_upper_bound(n, k, r, b) / b) for k in range(1, k_max + 1)
-        )
-        series.append(Fig11Series(n=n, r=r, points=points))
-    return Fig11Result(b=b, series=tuple(series))
+    """Compatibility wrapper: run the Fig. 11 spec through the exp engine."""
+    return run_figure(default_spec(b=b, systems=systems, k_max=k_max))

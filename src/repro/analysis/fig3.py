@@ -6,7 +6,8 @@ k'>)`` (both evaluated at ``k'``) as a percentage; values near 100% mean
 the DP's choice is robust to mis-estimating k.
 
 Paper setting: r = 5, s = 3, k = 6; (n, b) in {(31, 4800), (71, 1200),
-(257, 9600)}; k' in [4, 8].
+(257, 9600)}; k' in [4, 8]. One shard per (n, b) system shares its
+ComboStrategy and the plan tuned for the configured k.
 """
 
 from __future__ import annotations
@@ -16,6 +17,9 @@ from typing import List, Tuple
 
 from repro.core.combo import ComboStrategy
 from repro.designs.catalog import Existence
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.tables import TextTable
 
 
@@ -64,6 +68,84 @@ class Fig3Result:
         return table.render()
 
 
+def default_spec(
+    r: int = 5,
+    s: int = 3,
+    k: int = 6,
+    systems: Tuple[Tuple[int, int], ...] = ((31, 4800), (71, 1200), (257, 9600)),
+    k_prime_range: Tuple[int, int] = (4, 8),
+    tier: Existence = Existence.KNOWN,
+) -> ExperimentSpec:
+    return ExperimentSpec.build(
+        "fig3",
+        axes={"k_prime": list(range(k_prime_range[0], k_prime_range[1] + 1))},
+        constants={
+            "r": r,
+            "s": s,
+            "k": k,
+            "systems": [[n, b] for n, b in systems],
+            "tier": tier.name,
+        },
+    )
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    return [
+        {"n": n, "b": b, "k_prime": k_prime}
+        for n, b in spec.constant("systems")
+        for k_prime in spec.axis("k_prime")
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    n, b = cells[0]["n"], cells[0]["b"]
+    strategy = ComboStrategy(
+        n, spec.constant("r"), spec.constant("s"),
+        tier=Existence[spec.constant("tier")],
+    )
+    plan_for_k = strategy.plan(b, spec.constant("k"))
+    return [
+        {
+            "lb_cfg_k": plan_for_k.lower_bound_at(cell["k_prime"]),
+            "lb_cfg_kp": strategy.plan(b, cell["k_prime"]).lower_bound_at(
+                cell["k_prime"]
+            ),
+        }
+        for cell in cells
+    ]
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Fig3Result:
+    return Fig3Result(
+        r=spec.constant("r"),
+        s=spec.constant("s"),
+        k=spec.constant("k"),
+        points=tuple(
+            Fig3Point(
+                n=cell["n"],
+                b=cell["b"],
+                k_configured=spec.constant("k"),
+                k_actual=cell["k_prime"],
+                bound_tuned_for_k=entry["lb_cfg_k"],
+                bound_tuned_for_k_actual=entry["lb_cfg_kp"],
+            )
+            for cell, entry in zip(cells, metrics)
+        ),
+    )
+
+
+KERNELS = {
+    "fig3": ExperimentKernel(
+        name="fig3",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["n"], cell["b"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda result: result.render(),
+    )
+}
+
+
 def generate(
     r: int = 5,
     s: int = 3,
@@ -72,22 +154,10 @@ def generate(
     k_prime_range: Tuple[int, int] = (4, 8),
     tier: Existence = Existence.KNOWN,
 ) -> Fig3Result:
-    points: List[Fig3Point] = []
-    for n, b in systems:
-        strategy = ComboStrategy(n, r, s, tier=tier)
-        plan_for_k = strategy.plan(b, k)
-        for k_prime in range(k_prime_range[0], k_prime_range[1] + 1):
-            plan_for_k_prime = strategy.plan(b, k_prime)
-            points.append(
-                Fig3Point(
-                    n=n,
-                    b=b,
-                    k_configured=k,
-                    k_actual=k_prime,
-                    bound_tuned_for_k=plan_for_k.lower_bound_at(k_prime),
-                    bound_tuned_for_k_actual=plan_for_k_prime.lower_bound_at(
-                        k_prime
-                    ),
-                )
-            )
-    return Fig3Result(r=r, s=s, k=k, points=tuple(points))
+    """Compatibility wrapper: run the Fig. 3 spec through the exp engine."""
+    return run_figure(
+        default_spec(
+            r=r, s=s, k=k, systems=systems,
+            k_prime_range=k_prime_range, tier=tier,
+        )
+    )

@@ -15,6 +15,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.designs.catalog import Existence, largest_order
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.tables import TextTable
 
 #: The values printed in the paper's Fig. 4, for comparison. ``None`` marks
@@ -78,25 +81,72 @@ class Fig4Result:
         return table.render()
 
 
+def default_spec(
+    n_values: Tuple[int, ...] = (31, 71, 257),
+    r_values: Tuple[int, ...] = (2, 3, 4, 5),
+) -> ExperimentSpec:
+    return ExperimentSpec.build(
+        "fig4", axes={"n": n_values, "r": r_values}
+    )
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    return [
+        {"n": n, "r": r, "x": x}
+        for n in spec.axis("n")
+        for r in spec.axis("r")
+        for x in range(1, r)
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    out = []
+    for cell in cells:
+        t = cell["x"] + 1
+        out.append(
+            {
+                "nx_catalog": largest_order(
+                    cell["n"], cell["r"], t, Existence.KNOWN
+                ),
+                "nx_constructible": largest_order(
+                    cell["n"], cell["r"], t, Existence.CONSTRUCTIBLE
+                ),
+            }
+        )
+    return out
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Fig4Result:
+    return Fig4Result(
+        cells=tuple(
+            Fig4Cell(
+                n=cell["n"],
+                r=cell["r"],
+                x=cell["x"],
+                nx_catalog=entry["nx_catalog"],
+                nx_constructible=entry["nx_constructible"],
+                nx_paper=PAPER_FIG4.get((cell["n"], cell["r"], cell["x"])),
+            )
+            for cell, entry in zip(cells, metrics)
+        )
+    )
+
+
+KERNELS = {
+    "fig4": ExperimentKernel(
+        name="fig4",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["n"], cell["r"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda result: result.render(),
+    )
+}
+
+
 def generate(
     n_values: Tuple[int, ...] = (31, 71, 257),
     r_values: Tuple[int, ...] = (2, 3, 4, 5),
 ) -> Fig4Result:
-    cells: List[Fig4Cell] = []
-    for n in n_values:
-        for r in r_values:
-            for x in range(1, r):
-                t = x + 1
-                cells.append(
-                    Fig4Cell(
-                        n=n,
-                        r=r,
-                        x=x,
-                        nx_catalog=largest_order(n, r, t, Existence.KNOWN),
-                        nx_constructible=largest_order(
-                            n, r, t, Existence.CONSTRUCTIBLE
-                        ),
-                        nx_paper=PAPER_FIG4.get((n, r, x)),
-                    )
-                )
-    return Fig4Result(cells=tuple(cells))
+    """Compatibility wrapper: run the Fig. 4 spec through the exp engine."""
+    return run_figure(default_spec(n_values=n_values, r_values=r_values))

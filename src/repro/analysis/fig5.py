@@ -6,15 +6,21 @@ capacity is lost ("capacity gap")? Fig. 5 uses mu = 1; Fig. 6 revisits the
 hard cases (r = 5, x in {2, 3}) allowing mu <= 5 and mu <= 10, where the
 catalog falls back to divisibility-admissible parameter sets (documented
 as the optimistic tier in DESIGN.md/EXPERIMENTS.md).
+
+Both figures are experiment specs over the ``fig5``/``fig6`` kernels: one
+cell per (r, x, n) capacity-gap evaluation, one shard per CDF curve.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.subsystems import capacity_gap
 from repro.designs.catalog import Existence
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.tables import TextTable
 
 
@@ -61,6 +67,153 @@ class Fig5Result:
         return table.render()
 
 
+def default_spec(
+    combos: Sequence[Tuple[int, int]] = (
+        (2, 0), (2, 1),
+        (3, 0), (3, 1), (3, 2),
+        (4, 0), (4, 1), (4, 2), (4, 3),
+        (5, 0), (5, 1), (5, 2), (5, 3), (5, 4),
+    ),
+    n_range: Tuple[int, int] = (50, 800),
+    max_chunks: int = 3,
+    max_mu: int = 1,
+    tier: Existence = Existence.KNOWN,
+) -> ExperimentSpec:
+    """Fig. 5's sweep (defaults) or Fig. 6's (combos/(max_mu, tier) overridden)."""
+    return ExperimentSpec.build(
+        "fig5",
+        axes={"n": list(range(n_range[0], n_range[1] + 1))},
+        constants={
+            "combos": [[r, x] for r, x in combos],
+            "max_chunks": max_chunks,
+            "max_mu": max_mu,
+            "tier": tier.name,
+        },
+    )
+
+
+def default_spec_fig6(
+    n_range: Tuple[int, int] = (50, 800),
+    max_chunks: int = 3,
+) -> ExperimentSpec:
+    """Fig. 6: the r = 5, x in {2, 3} cases, swept over mu <= 5 and <= 10."""
+    return ExperimentSpec.build(
+        "fig6",
+        axes={
+            "n": list(range(n_range[0], n_range[1] + 1)),
+            "max_mu": (5, 10),
+        },
+        constants={
+            "combos": [[5, 2], [5, 3]],
+            "max_chunks": max_chunks,
+            "tier": Existence.DIVISIBILITY.name,
+        },
+    )
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    return [
+        {"r": r, "x": x, "n": n}
+        for r, x in spec.constant("combos")
+        for n in spec.axis("n")
+    ]
+
+
+def _expand_fig6(spec: ExperimentSpec) -> List[dict]:
+    return [
+        {"max_mu": max_mu, "r": r, "x": x, "n": n}
+        for max_mu in spec.axis("max_mu")
+        for r, x in spec.constant("combos")
+        for n in spec.axis("n")
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    tier = Existence[spec.constant("tier")]
+    max_chunks = spec.constant("max_chunks")
+    return [
+        {
+            "gap": capacity_gap(
+                cell["n"],
+                cell["r"],
+                cell["x"],
+                tier=tier,
+                max_mu=cell.get("max_mu", spec.constant("max_mu", None)),
+                max_chunks=max_chunks,
+            )
+        }
+        for cell in cells
+    ]
+
+
+def _cdfs_from(spec, cells, metrics, max_mu_of, tier) -> List[GapCDF]:
+    curves: dict = {}
+    order: List[tuple] = []
+    for cell, entry in zip(cells, metrics):
+        key = (max_mu_of(cell), cell["r"], cell["x"])
+        if key not in curves:
+            curves[key] = []
+            order.append(key)
+        curves[key].append(entry["gap"])
+    return [
+        GapCDF(
+            r=r, x=x, max_mu=max_mu, tier=tier, gaps=tuple(curves[(max_mu, r, x)])
+        )
+        for max_mu, r, x in order
+    ]
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Fig5Result:
+    n_values = spec.axis("n")
+    tier = Existence[spec.constant("tier")]
+    cdfs = _cdfs_from(
+        spec, cells, metrics, lambda cell: spec.constant("max_mu"), tier
+    )
+    return Fig5Result(
+        n_range=(n_values[0], n_values[-1]),
+        max_chunks=spec.constant("max_chunks"),
+        cdfs=tuple(cdfs),
+    )
+
+
+def _assemble_fig6(spec: ExperimentSpec, cells, metrics) -> Tuple[Fig5Result, Fig5Result]:
+    n_values = spec.axis("n")
+    tier = Existence[spec.constant("tier")]
+    cdfs = _cdfs_from(spec, cells, metrics, lambda cell: cell["max_mu"], tier)
+    results = []
+    for max_mu in spec.axis("max_mu"):
+        results.append(
+            Fig5Result(
+                n_range=(n_values[0], n_values[-1]),
+                max_chunks=spec.constant("max_chunks"),
+                cdfs=tuple(cdf for cdf in cdfs if cdf.max_mu == max_mu),
+            )
+        )
+    return results[0], results[1]
+
+
+KERNELS = {
+    "fig5": ExperimentKernel(
+        name="fig5",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["r"], cell["x"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda result: result.render(),
+    ),
+    "fig6": ExperimentKernel(
+        name="fig6",
+        expand=_expand_fig6,
+        group_key=lambda spec, cell: (cell["max_mu"], cell["r"], cell["x"]),
+        run_group=_run_group,
+        assemble=_assemble_fig6,
+        render=lambda results: (
+            results[0].render() + "\n\n" + results[1].render()
+        ),
+    ),
+}
+
+
 def generate(
     combos: Sequence[Tuple[int, int]] = (
         (2, 0), (2, 1),
@@ -74,14 +227,12 @@ def generate(
     tier: Existence = Existence.KNOWN,
 ) -> Fig5Result:
     """Fig. 5's CDFs (defaults) or Fig. 6's (combos/(max_mu, tier) overridden)."""
-    cdfs: List[GapCDF] = []
-    for r, x in combos:
-        gaps = [
-            capacity_gap(n, r, x, tier=tier, max_mu=max_mu, max_chunks=max_chunks)
-            for n in range(n_range[0], n_range[1] + 1)
-        ]
-        cdfs.append(GapCDF(r=r, x=x, max_mu=max_mu, tier=tier, gaps=tuple(gaps)))
-    return Fig5Result(n_range=n_range, max_chunks=max_chunks, cdfs=tuple(cdfs))
+    return run_figure(
+        default_spec(
+            combos=combos, n_range=n_range, max_chunks=max_chunks,
+            max_mu=max_mu, tier=tier,
+        )
+    )
 
 
 def generate_fig6(
@@ -94,15 +245,4 @@ def generate_fig6(
     counts when the necessary conditions hold — the optimistic assumption
     the paper makes when surveying "numerous additional constructions".
     """
-    results = []
-    for max_mu in (5, 10):
-        results.append(
-            generate(
-                combos=((5, 2), (5, 3)),
-                n_range=n_range,
-                max_chunks=max_chunks,
-                max_mu=max_mu,
-                tier=Existence.DIVISIBILITY,
-            )
-        )
-    return results[0], results[1]
+    return run_figure(default_spec_fig6(n_range=n_range, max_chunks=max_chunks))

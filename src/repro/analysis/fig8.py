@@ -12,6 +12,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.rand_analysis import pr_avail_fraction
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.asciiplot import Series, line_plot
 from repro.util.tables import TextTable
 
@@ -65,21 +68,83 @@ class Fig8Result:
         )
 
 
+def default_spec(
+    b: int = 38400,
+    systems: Tuple[Tuple[int, int], ...] = ((71, 3), (71, 5), (257, 3), (257, 5)),
+    s_values: Tuple[int, ...] = (1, 2, 3, 4, 5),
+    k_max: int = 10,
+) -> ExperimentSpec:
+    return ExperimentSpec.build(
+        "fig8",
+        axes={"s": s_values},
+        constants={
+            "b": b,
+            "systems": [[n, r] for n, r in systems],
+            "k_max": k_max,
+        },
+    )
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    k_max = spec.constant("k_max")
+    return [
+        {"s": s, "n": n, "r": r, "k": k}
+        for s in spec.axis("s")
+        for n, r in spec.constant("systems")
+        if s <= r
+        for k in range(max(1, s), k_max + 1)
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    b = spec.constant("b")
+    return [
+        {
+            "fraction": pr_avail_fraction(
+                cell["n"], cell["k"], cell["r"], cell["s"], b
+            )
+        }
+        for cell in cells
+    ]
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Fig8Result:
+    curves: Dict[Tuple[int, int, int], List[Tuple[int, float]]] = {}
+    order: List[Tuple[int, int, int]] = []
+    for cell, entry in zip(cells, metrics):
+        key = (cell["s"], cell["n"], cell["r"])
+        if key not in curves:
+            curves[key] = []
+            order.append(key)
+        curves[key].append((cell["k"], entry["fraction"]))
+    return Fig8Result(
+        b=spec.constant("b"),
+        series=tuple(
+            Fig8Series(n=n, r=r, s=s, points=tuple(curves[(s, n, r)]))
+            for s, n, r in order
+        ),
+    )
+
+
+KERNELS = {
+    "fig8": ExperimentKernel(
+        name="fig8",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["s"], cell["n"], cell["r"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda result: result.render(),
+    )
+}
+
+
 def generate(
     b: int = 38400,
     systems: Tuple[Tuple[int, int], ...] = ((71, 3), (71, 5), (257, 3), (257, 5)),
     s_values: Tuple[int, ...] = (1, 2, 3, 4, 5),
     k_max: int = 10,
 ) -> Fig8Result:
-    series: List[Fig8Series] = []
-    for s in s_values:
-        for n, r in systems:
-            if s > r:
-                continue
-            k_start = max(1, s)
-            points = tuple(
-                (k, pr_avail_fraction(n, k, r, s, b))
-                for k in range(k_start, k_max + 1)
-            )
-            series.append(Fig8Series(n=n, r=r, s=s, points=points))
-    return Fig8Result(b=b, series=tuple(series))
+    """Compatibility wrapper: run the Fig. 8 spec through the exp engine."""
+    return run_figure(
+        default_spec(b=b, systems=systems, s_values=s_values, k_max=k_max)
+    )

@@ -9,6 +9,12 @@ improved upon:
 White cells (positive) mean Combo *guarantees* more availability than
 Random probably achieves; dark cells (negative) mean Random probably wins.
 Fig. 9a is n = 71 (k in [s, 7]); Fig. 9b is n = 257 (k in [s, 8]).
+
+The analytic tables run as the ``fig9`` experiment kernel (one shard per
+(r, s) table, sharing its ComboStrategy); ``fig9a``/``fig9b`` in the
+figure catalog are just two default specs over it. The empirical
+validation sweep (:func:`generate_empirical`) stays a direct batch-engine
+consumer — it is a contract check, not a paper figure.
 """
 
 from __future__ import annotations
@@ -27,6 +33,9 @@ from repro.core.batch import AttackCell, batch_attack
 from repro.core.combo import ComboStrategy
 from repro.core.rand_analysis import pr_avail_rnd
 from repro.designs.catalog import Existence
+from repro.exp.registry import ExperimentKernel
+from repro.exp.runner import run_figure
+from repro.exp.spec import ExperimentSpec
 from repro.util.rng import spawn_seeds
 from repro.util.tables import TextTable, format_grid
 
@@ -205,6 +214,99 @@ def generate_empirical(
     return Fig9Empirical(n=n, r=r, s=s, cells=tuple(cells))
 
 
+def default_spec(
+    n: int,
+    k_max: int,
+    r_values: Tuple[int, ...] = (2, 3, 4, 5),
+    b_values: Tuple[int, ...] = tuple(PAPER_B_LADDER),
+    tier: Existence = Existence.KNOWN,
+) -> ExperimentSpec:
+    return ExperimentSpec.build(
+        "fig9",
+        axes={"b": b_values},
+        constants={
+            "n": n,
+            "k_max": k_max,
+            "r_values": list(r_values),
+            "tier": tier.name,
+        },
+    )
+
+
+def default_spec_a() -> ExperimentSpec:
+    """Fig. 9a: n = 71, k up to 7."""
+    return default_spec(71, 7)
+
+
+def default_spec_b() -> ExperimentSpec:
+    """Fig. 9b: n = 257, k up to 8."""
+    return default_spec(257, 8)
+
+
+def _expand(spec: ExperimentSpec) -> List[dict]:
+    k_max = spec.constant("k_max")
+    return [
+        {"r": r, "s": s, "b": b, "k": k}
+        for r in spec.constant("r_values")
+        for s in range(2, r + 1)
+        for b in spec.axis("b")
+        for k in range(s, k_max + 1)
+    ]
+
+
+def _run_group(spec: ExperimentSpec, cells) -> List[dict]:
+    n = spec.constant("n")
+    r, s = cells[0]["r"], cells[0]["s"]
+    strategy = ComboStrategy(n, r, s, tier=Existence[spec.constant("tier")])
+    return [
+        {
+            "lb": strategy.plan(cell["b"], cell["k"]).lower_bound,
+            "pr": pr_avail_rnd(n, cell["k"], r, s, cell["b"]),
+        }
+        for cell in cells
+    ]
+
+
+def _assemble(spec: ExperimentSpec, cells, metrics) -> Fig9Result:
+    n = spec.constant("n")
+    k_max = spec.constant("k_max")
+    b_values = tuple(spec.axis("b"))
+    grid: Dict[Tuple[int, int], Dict[Tuple[int, int], Fig9Cell]] = {}
+    for cell, entry in zip(cells, metrics):
+        grid.setdefault((cell["r"], cell["s"]), {})[(cell["b"], cell["k"])] = (
+            Fig9Cell(
+                b=cell["b"], k=cell["k"],
+                lb_combo=entry["lb"], pr_avail=entry["pr"],
+            )
+        )
+    tables: List[Fig9Table] = []
+    for r in spec.constant("r_values"):
+        for s in range(2, r + 1):
+            tables.append(
+                Fig9Table(
+                    n=n,
+                    r=r,
+                    s=s,
+                    b_values=b_values,
+                    k_values=tuple(range(s, k_max + 1)),
+                    cells=grid.get((r, s), {}),
+                )
+            )
+    return Fig9Result(n=n, tables=tuple(tables))
+
+
+KERNELS = {
+    "fig9": ExperimentKernel(
+        name="fig9",
+        expand=_expand,
+        group_key=lambda spec, cell: (cell["r"], cell["s"]),
+        run_group=_run_group,
+        assemble=_assemble,
+        render=lambda result: result.render(),
+    )
+}
+
+
 def generate(
     n: int,
     k_max: int,
@@ -213,25 +315,6 @@ def generate(
     tier: Existence = Existence.KNOWN,
 ) -> Fig9Result:
     """Fig. 9a: generate(71, 7). Fig. 9b: generate(257, 8)."""
-    tables: List[Fig9Table] = []
-    for r in r_values:
-        for s in range(2, r + 1):
-            strategy = ComboStrategy(n, r, s, tier=tier)
-            k_values = tuple(range(s, k_max + 1))
-            cells: Dict[Tuple[int, int], Fig9Cell] = {}
-            for b in b_values:
-                for k in k_values:
-                    lb = strategy.plan(b, k).lower_bound
-                    pr = pr_avail_rnd(n, k, r, s, b)
-                    cells[(b, k)] = Fig9Cell(b=b, k=k, lb_combo=lb, pr_avail=pr)
-            tables.append(
-                Fig9Table(
-                    n=n,
-                    r=r,
-                    s=s,
-                    b_values=b_values,
-                    k_values=k_values,
-                    cells=cells,
-                )
-            )
-    return Fig9Result(n=n, tables=tuple(tables))
+    return run_figure(
+        default_spec(n, k_max, r_values=r_values, b_values=b_values, tier=tier)
+    )

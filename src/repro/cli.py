@@ -2,7 +2,12 @@
 
 The commands cover the library's workflows without writing Python:
 
-* ``figure``   — regenerate one of the paper's figures/tables as text;
+* ``figure``   — regenerate one of the paper's figures/tables as text
+  (``--list`` enumerates them with descriptions);
+* ``run``      — run a registered figure or a custom ``spec.json`` sweep
+  through the declarative experiment engine (:mod:`repro.exp`) with a
+  resumable content-addressed run store (``--resume``, ``--workers``,
+  ``--limit``; ``--list`` shows the catalog);
 * ``place``    — compute a placement (combo/simple/random) and print it,
   save it as JSON, or save the binary ``.npz`` artifact (``--format``);
 * ``attack``   — run the worst-case adversary against a saved placement
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import List, Optional
@@ -30,11 +36,14 @@ from repro.core.rand_analysis import pr_avail_rnd
 from repro.core.random_placement import RandomStrategy
 from repro.core.simple import SimpleStrategy
 from repro.designs.catalog import Existence, existence, largest_order, steiner_orders
+from repro.exp.registry import describe_figures, figure_names
 
-_FIGURES = (
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9a", "fig9b", "fig10", "fig11",
-)
+
+def _print_figure_catalog() -> None:
+    entries = describe_figures()
+    width = max(len(name) for name, _ in entries)
+    for name, description in entries:
+        print(f"{name:<{width}}  {description}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,7 +55,36 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     figure = commands.add_parser("figure", help="regenerate a paper figure/table")
-    figure.add_argument("which", choices=(*_FIGURES, "all"))
+    figure.add_argument("which", nargs="?", choices=(*figure_names(), "all"),
+                        help="figure name (see --list) or 'all'")
+    figure.add_argument("--list", action="store_true",
+                        help="list registered figures with descriptions")
+
+    run = commands.add_parser(
+        "run",
+        help="run a figure or spec.json sweep via the experiment engine",
+    )
+    run.add_argument("target", nargs="?",
+                     help="registered figure name (see --list) or a path to "
+                     "an experiment spec JSON file")
+    run.add_argument("--list", action="store_true",
+                     help="list runnable figures with descriptions")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for shard fan-out "
+                     "(default: $REPRO_WORKERS/1; results are identical "
+                     "for every value)")
+    run.add_argument("--store", type=str, default=None,
+                     help="run-store root directory "
+                     "(default: $REPRO_RUNS_DIR or ./runs)")
+    run.add_argument("--no-store", action="store_true",
+                     help="compute without persisting (not resumable)")
+    run.add_argument("--resume", action="store_true",
+                     help="continue a partially stored run instead of "
+                     "restarting it")
+    run.add_argument("--limit", type=int, default=None,
+                     help="stop after computing about this many new cells "
+                     "(at the next shard boundary), leaving a resumable "
+                     "partial run")
 
     place = commands.add_parser("place", help="compute and emit a placement")
     place.add_argument("--strategy", choices=("combo", "simple", "random"),
@@ -168,6 +206,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "figure": _run_figure,
+        "run": _run_exp,
         "place": _run_place,
         "attack": _run_attack,
         "simulate": _run_simulate,
@@ -234,38 +273,85 @@ def _run_audit(args) -> int:
 
 
 def _run_figure(args) -> int:
-    from repro.analysis import fig2, fig3, fig4, fig5, fig7, fig8, fig9, fig10, fig11
+    from repro.exp.registry import figure_spec
+    from repro.exp.runner import run_experiment
 
-    def render(which: str) -> str:
-        if which == "fig2":
-            return fig2.generate().render()
-        if which == "fig3":
-            return fig3.generate().render()
-        if which == "fig4":
-            return fig4.generate().render()
-        if which == "fig5":
-            return fig5.generate().render()
-        if which == "fig6":
-            mu5, mu10 = fig5.generate_fig6()
-            return mu5.render() + "\n\n" + mu10.render()
-        if which == "fig7":
-            return fig7.generate().render()
-        if which == "fig8":
-            return fig8.generate().render()
-        if which == "fig9a":
-            return fig9.generate(71, 7).render()
-        if which == "fig9b":
-            return fig9.generate(257, 8).render()
-        if which == "fig10":
-            return "\n\n".join(fig10.generate(n).render() for n in (31, 71, 257))
-        if which == "fig11":
-            return fig11.generate().render()
-        raise AssertionError(which)
-
-    targets = _FIGURES if args.which == "all" else (args.which,)
+    if args.list:
+        _print_figure_catalog()
+        return 0
+    if args.which is None:
+        print("figure: name required (or --list to see the catalog)",
+              file=sys.stderr)
+        return 2
+    targets = figure_names() if args.which == "all" else (args.which,)
     for which in targets:
-        print(render(which))
+        print(run_experiment(figure_spec(which)).render())
         print()
+    return 0
+
+
+def _run_exp(args) -> int:
+    from repro.exp.registry import figure_spec, spec_from_payload
+    from repro.exp.runner import run_experiment
+    from repro.exp.spec import SpecError
+    from repro.exp.store import RunStoreError
+
+    if args.list:
+        _print_figure_catalog()
+        return 0
+    if args.target is None:
+        print("run: target required (figure name or spec.json; --list "
+              "shows the catalog)", file=sys.stderr)
+        return 2
+    try:
+        if args.target.endswith(".json") or os.path.sep in args.target:
+            with open(args.target, encoding="utf-8") as handle:
+                spec = spec_from_payload(json.load(handle))
+        else:
+            spec = figure_spec(args.target)
+    except OSError as exc:
+        print(f"run: cannot read spec file: {exc}", file=sys.stderr)
+        return 2
+    except (SpecError, ValueError) as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    store = None
+    if not args.no_store:
+        store = args.store or os.environ.get("REPRO_RUNS_DIR") or "runs"
+    try:
+        run = run_experiment(
+            spec,
+            workers=args.workers,
+            store=store,
+            resume=args.resume,
+            limit=args.limit,
+        )
+    except RunStoreError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # SpecError from a kernel reading a malformed custom spec,
+        # ExperimentError on kernel-contract violations, bad --workers/
+        # --limit values: user input, not internal state.
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    if run.complete:
+        print(run.render())
+    else:
+        resume_cmd = ["repro", "run", args.target, "--resume"]
+        if args.store:
+            resume_cmd += ["--store", args.store]
+        if args.workers is not None:
+            resume_cmd += ["--workers", str(args.workers)]
+        print(
+            f"partial run: {len(run.cells) - run.loaded - run.computed} "
+            f"cells still missing; finish with "
+            f"`{' '.join(resume_cmd)}`",
+            file=sys.stderr,
+        )
+    print(run.summary(), file=sys.stderr)
+    if run.store_path is not None:
+        print(f"run store: {run.store_path}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,20 @@
+"""Declarative experiment engine: specs -> sharded runs -> resumable store.
+
+The paper's evaluation is a family of parameter sweeps. This package turns
+each sweep into *data* instead of a bespoke module:
+
+* :mod:`repro.exp.spec` — :class:`ExperimentSpec`, a pure-data description
+  of a sweep (axes, constants) with a canonical sha256 identity;
+* :mod:`repro.exp.registry` — the experiment kernels (expansion, group
+  execution, assembly) and the runnable figure catalog;
+* :mod:`repro.exp.runner` — expands a spec into cells, shards cell groups
+  across worker processes (one warm attack engine per shard), and streams
+  results in deterministic order;
+* :mod:`repro.exp.store` — a content-addressed on-disk run store keyed by
+  spec hash, so interrupted sweeps resume and re-renders never recompute.
+"""
+
+from repro.exp.spec import ExperimentSpec, SpecError
+from repro.exp.store import RunStore, RunStoreError
+
+__all__ = ["ExperimentSpec", "SpecError", "RunStore", "RunStoreError"]

@@ -1,0 +1,302 @@
+"""Sharded experiment runner: expand, group, fan out, stream in order.
+
+Execution model:
+
+* the kernel expands the spec into an ordered cell list and labels each
+  cell with a **group key**. Cells sharing a key form one *shard* — they
+  ride one warm :class:`~repro.core.batch.AttackEngine` (placement
+  construction, incidence, per-threshold kernels) and one warm-start
+  incumbent chain, exactly as the hand-written figure loops did. The
+  expansion must keep groups contiguous; the runner enforces this, which
+  is what lets the store hold a plain in-order prefix;
+* each shard is computed **serially inside one process** — all
+  parallelism is *across* shards (``workers`` processes via fork, as in
+  :mod:`repro.core.batch`). Because a shard's randomness derives from
+  the spec alone, results are bit-identical for every worker count,
+  including 1. This is deliberately stronger than the pre-refactor
+  figure loops, whose intra-grid chunking could drift under
+  ``REPRO_WORKERS >= 2``;
+* shards are scheduled longest-first (``group_cost`` hint) but
+  **committed in expansion order**: a shard that finishes early parks in
+  memory until every earlier shard has been flushed. The store therefore
+  only ever holds an exact prefix of the run, so an interrupted sweep
+  resumes by recomputing just the shards past (or straddling) the
+  prefix, and the final ``cells.jsonl`` is byte-identical to an
+  uninterrupted run's;
+* metrics are normalized through a JSON round-trip at the shard
+  boundary, so freshly computed, worker-returned, and store-loaded
+  results are indistinguishable — assembly cannot tell how a cell was
+  obtained.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.batch import worker_count
+from repro.exp import registry
+from repro.exp.spec import ExperimentSpec
+from repro.exp.store import RunState, RunStore
+
+
+class ExperimentError(ValueError):
+    """Raised on kernel-contract violations (non-contiguous groups, ...)."""
+
+
+@dataclass(frozen=True)
+class _Group:
+    """One contiguous shard: expansion slice [start, end) sharing a key."""
+
+    key: Any
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class RunResult:
+    """Everything one :func:`run_experiment` call produced.
+
+    ``metrics`` aligns with ``cells``; entries are ``None`` only when a
+    ``limit`` stopped the run early. ``loaded`` cells were served from the
+    run store, ``computed`` were executed now, and ``recomputed`` counts
+    the stored cells that had to be re-executed (and are included in
+    ``computed``) because their shard straddled the stored prefix —
+    always 0 when the interruption fell on a shard boundary, e.g. any
+    ``limit``-bounded run.
+    """
+
+    spec: ExperimentSpec
+    cells: List[Dict[str, Any]]
+    metrics: List[Optional[Dict[str, Any]]]
+    loaded: int = 0
+    computed: int = 0
+    recomputed: int = 0
+    groups: int = 0
+    elapsed: float = 0.0
+    store_path: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return all(entry is not None for entry in self.metrics)
+
+    def result(self) -> Any:
+        """Assemble the figure's result object (requires a complete run)."""
+        if not self.complete:
+            missing = sum(1 for entry in self.metrics if entry is None)
+            raise ExperimentError(
+                f"run of {self.spec.experiment!r} is incomplete "
+                f"({missing} of {len(self.cells)} cells missing); resume it "
+                "to assemble a result"
+            )
+        kernel = registry.kernel(self.spec.experiment)
+        return kernel.assemble(self.spec, self.cells, self.metrics)
+
+    def render(self) -> str:
+        kernel = registry.kernel(self.spec.experiment)
+        return kernel.render(self.result())
+
+    def summary(self) -> str:
+        state = "complete" if self.complete else "partial"
+        return (
+            f"{self.spec.experiment} [{self.spec.spec_hash()[:12]}] "
+            f"{state}: {len(self.cells)} cells "
+            f"({self.loaded} loaded, {self.computed} computed, "
+            f"{self.recomputed} recomputed) across {self.groups} shards "
+            f"in {self.elapsed:.2f}s"
+        )
+
+
+def _normalize(metrics: Any) -> Dict[str, Any]:
+    """JSON round-trip so in-memory metrics match store-loaded metrics."""
+    if not isinstance(metrics, dict):
+        raise ExperimentError(
+            f"kernels must return one metrics dict per cell, got "
+            f"{type(metrics).__name__}"
+        )
+    return json.loads(json.dumps(metrics))
+
+
+def _contiguous_groups(
+    spec: ExperimentSpec,
+    kernel: registry.ExperimentKernel,
+    cells: Sequence[Dict[str, Any]],
+) -> List[_Group]:
+    groups: List[_Group] = []
+    seen = set()
+    for index, cell in enumerate(cells):
+        key = kernel.group_key(spec, cell)
+        if groups and groups[-1].key == key:
+            groups[-1] = _Group(key, groups[-1].start, index + 1)
+            continue
+        if key in seen:
+            raise ExperimentError(
+                f"kernel {kernel.name!r} expansion interleaves group "
+                f"{key!r}; groups must be contiguous in expansion order"
+            )
+        seen.add(key)
+        groups.append(_Group(key, index, index + 1))
+    return groups
+
+
+def _group_cost(
+    spec: ExperimentSpec,
+    kernel: registry.ExperimentKernel,
+    group: _Group,
+    cells: Sequence[Dict[str, Any]],
+) -> float:
+    if kernel.group_cost is None:
+        return float(group.size)
+    return float(
+        kernel.group_cost(spec, group.key, cells[group.start:group.end])
+    )
+
+
+def _run_group_task(payload: Tuple[str, int, List[Dict[str, Any]]]):
+    """Top-level worker entry point (picklable): compute one shard."""
+    spec_json, ordinal, cells = payload
+    spec = ExperimentSpec.from_dict(json.loads(spec_json))
+    kernel = registry.kernel(spec.experiment)
+    return ordinal, kernel.run_group(spec, cells)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    workers: Optional[int] = None,
+    store: Optional[Union[RunStore, str]] = None,
+    resume: bool = False,
+    limit: Optional[int] = None,
+) -> RunResult:
+    """Run one spec: expand, serve the stored prefix, compute the rest.
+
+    ``workers`` defaults to ``REPRO_WORKERS`` (serial when unset); results
+    are identical for every value. ``store`` (a :class:`RunStore` or a
+    root path) makes the run resumable and re-renderable without
+    recomputation. ``limit`` caps the number of *newly computed* cells —
+    the run stops at the first shard boundary at or past the cap, leaving
+    a clean resumable prefix (used by budgeted sweeps, the CI smoke job,
+    and the resume benchmarks).
+    """
+    started = time.perf_counter()
+    kernel = registry.kernel(spec.experiment)
+    if workers is None:
+        workers = worker_count(1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if limit is not None and limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+
+    cells = [dict(cell) for cell in kernel.expand(spec)]
+    groups = _contiguous_groups(spec, kernel, cells)
+    metrics: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+
+    if isinstance(store, str):
+        store = RunStore(store)
+    state: Optional[RunState] = None
+    try:
+        prefix = 0
+        if store is not None:
+            # Inside the try: open_run takes the run lock, and a corrupt
+            # store raising out of load_prefix must still release it.
+            state = store.open_run(spec, resume=resume)
+            stored = state.load_prefix(cells)
+            prefix = len(stored)
+            metrics[:prefix] = stored
+
+        pending = [group for group in groups if group.end > prefix]
+        if limit is not None:
+            budget, kept = limit, []
+            for group in pending:
+                if budget <= 0:
+                    break
+                kept.append(group)
+                budget -= group.end - max(group.start, prefix)
+            pending = kept
+        recomputed = sum(max(0, prefix - group.start) for group in pending)
+
+        def flush(group: _Group, chunk: Sequence[Any]) -> None:
+            if len(chunk) != group.size:
+                raise ExperimentError(
+                    f"kernel {kernel.name!r} returned {len(chunk)} metric "
+                    f"dicts for a {group.size}-cell shard"
+                )
+            for offset, entry in enumerate(chunk):
+                metrics[group.start + offset] = _normalize(entry)
+            if state is not None:
+                for index in range(max(group.start, prefix), group.end):
+                    state.append(cells[index], metrics[index])
+                state.flush()
+
+        if workers > 1 and len(pending) > 1:
+            _run_sharded(spec, kernel, cells, pending, workers, flush)
+        else:
+            for group in pending:
+                flush(group, kernel.run_group(spec, cells[group.start:group.end]))
+        computed = sum(
+            group.end - max(group.start, prefix) for group in pending
+        ) + recomputed
+        complete = all(entry is not None for entry in metrics)
+        if state is not None and complete and not state.complete:
+            state.finalize(len(cells))
+    finally:
+        if state is not None:
+            state.close()
+
+    return RunResult(
+        spec=spec,
+        cells=cells,
+        metrics=metrics,
+        loaded=prefix - recomputed,
+        computed=computed,
+        recomputed=recomputed,
+        groups=len(groups),
+        elapsed=time.perf_counter() - started,
+        store_path=state.path if state is not None else None,
+    )
+
+
+def _run_sharded(spec, kernel, cells, pending, workers, flush) -> None:
+    """Fan pending shards over a process pool; commit in expansion order."""
+    import multiprocessing
+
+    spec_json = json.dumps(spec.to_dict())
+    order = sorted(
+        range(len(pending)),
+        key=lambda i: (-_group_cost(spec, kernel, pending[i], cells), i),
+    )
+    payloads = [
+        (spec_json, i, cells[pending[i].start:pending[i].end]) for i in order
+    ]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    finished: Dict[int, Any] = {}
+    next_flush = 0
+    with context.Pool(processes=min(workers, len(pending))) as pool:
+        for ordinal, chunk in pool.imap_unordered(_run_group_task, payloads):
+            finished[ordinal] = chunk
+            while next_flush in finished:
+                flush(pending[next_flush], finished.pop(next_flush))
+                next_flush += 1
+
+
+def run_figure(
+    spec: ExperimentSpec,
+    workers: Optional[int] = None,
+    store: Optional[Union[RunStore, str]] = None,
+    resume: bool = False,
+) -> Any:
+    """Run a spec to completion and assemble its figure result object.
+
+    This is the engine behind every ``figN.generate()`` compatibility
+    wrapper: serial by default (``REPRO_WORKERS`` shards it), bit-identical
+    output either way.
+    """
+    return run_experiment(
+        spec, workers=workers, store=store, resume=resume
+    ).result()

@@ -1,0 +1,354 @@
+"""Content-addressed on-disk run store: resumable, checksummed, append-only.
+
+Layout (one directory per spec identity under the store root)::
+
+    runs/
+      <spec-hash16>/
+        manifest.json   # format/version, full spec, spec_sha256, completion
+        cells.jsonl     # one line per completed cell, in expansion order
+
+``manifest.json`` follows the checksummed-header pattern of
+:mod:`repro.core.artifact`: it pins the full spec dict plus its sha256,
+and once the run completes it additionally records the cell count and the
+sha256 of ``cells.jsonl`` — a complete run that fails its checksum is
+reported as corrupt instead of silently re-served.
+
+``cells.jsonl`` is written **strictly in expansion order** (the runner
+commits shards in order even when they finish out of order), which buys
+two properties cheaply:
+
+* a killed run leaves a valid *prefix* (plus at most one torn trailing
+  line, which :meth:`RunState.load_prefix` truncates away), so resuming
+  is "skip the prefix, recompute the rest";
+* an interrupted-then-resumed run produces a ``cells.jsonl`` that is
+  byte-identical to an uninterrupted run's.
+
+Floats ride JSON's exact ``repr`` round-trip, so metrics loaded from the
+store are indistinguishable from freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
+
+from repro.exp.spec import ExperimentSpec, cell_key
+
+RUN_FORMAT = "repro-run"
+RUN_VERSION = 1
+
+#: Directory names use a 16-hex prefix of the spec hash; the manifest pins
+#: the full digest, so a (cosmically unlikely) prefix collision is caught
+#: at open time rather than silently mixing runs.
+_DIR_HASH_CHARS = 16
+
+
+class RunStoreError(ValueError):
+    """Raised on corrupt, mismatched, or version-incompatible run stores."""
+
+
+def _dump_line(cell: Mapping[str, Any], metrics: Mapping[str, Any]) -> str:
+    return json.dumps(
+        {"cell": dict(cell), "metrics": dict(metrics)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ) + "\n"
+
+
+def _write_atomic(path: str, text: str) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _acquire_lock(path: str) -> Optional[IO[str]]:
+    """Take the run directory's advisory lock (kernel ``flock``).
+
+    Two processes running the same spec against one store would otherwise
+    race: the second one's restart policy can unlink the cells file the
+    first still holds open, and whichever finalizes first records a
+    checksum of the other's half-written data. A non-blocking exclusive
+    ``flock`` on ``<run>/lock`` serializes them with no staleness
+    protocol at all — the kernel drops the lock the instant its holder
+    exits (cleanly or not), so crashed runs never wedge the store and
+    there is no pid-file read/reclaim race. The file itself is never
+    unlinked (unlink-while-locked is its own race); its pid content is
+    diagnostic only. Returns the open handle owning the lock, or None on
+    platforms without ``fcntl`` (best-effort: no locking there).
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    lock_path = os.path.join(path, "lock")
+    handle = open(lock_path, "a+", encoding="utf-8")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        handle.seek(0)
+        owner = handle.read().strip() or "unknown"
+        handle.close()
+        raise RunStoreError(
+            f"{path}: run is in use by another process (pid {owner}); "
+            "wait for it to finish or use a different --store"
+        ) from None
+    handle.seek(0)
+    handle.truncate()
+    handle.write(str(os.getpid()))
+    handle.flush()
+    return handle
+
+
+class RunState:
+    """One open run directory: prefix loading, ordered appends, completion.
+
+    Opening a run takes an advisory per-directory lock (released by
+    :meth:`close` / :meth:`finalize`, reclaimed automatically from dead
+    processes), so concurrent runs of one spec against one store fail
+    fast instead of corrupting each other.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        spec: ExperimentSpec,
+        manifest: Dict[str, Any],
+        lock: Optional[IO[str]] = None,
+    ):
+        self.path = path
+        self.spec = spec
+        self.manifest = manifest
+        self._handle: Optional[IO[bytes]] = None
+        self._lock = lock
+
+    @property
+    def cells_path(self) -> str:
+        return os.path.join(self.path, "cells.jsonl")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.path, "manifest.json")
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.manifest.get("complete"))
+
+    def load_prefix(self, cells: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+        """Validated metrics for the stored prefix of ``cells``.
+
+        Reads ``cells.jsonl``, checks every stored line against the
+        expected cell at its expansion slot, truncates a torn trailing
+        line (the kill-mid-write case), and — for complete runs — also
+        verifies the manifest's cells checksum. Returns the prefix's
+        metric dicts; the run resumes at index ``len(result)``.
+        """
+        if not os.path.exists(self.cells_path):
+            if self.complete:
+                raise RunStoreError(
+                    f"{self.path}: manifest says complete but cells.jsonl "
+                    "is missing"
+                )
+            return []
+        with open(self.cells_path, "rb") as handle:
+            blob = handle.read()
+        if self.complete:
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != self.manifest.get("cells_sha256"):
+                raise RunStoreError(
+                    f"{self.path}: cells.jsonl checksum mismatch "
+                    "(corrupt run store)"
+                )
+        metrics: List[Dict[str, Any]] = []
+        offset = 0
+        for raw_line in blob.splitlines(keepends=True):
+            if not raw_line.endswith(b"\n"):
+                # Appends write line+newline in one call, so a line
+                # without its newline is an interrupted append — and it
+                # is necessarily the file's last line. Truncate it away;
+                # the runner recomputes that cell.
+                if self.complete:
+                    raise RunStoreError(
+                        f"{self.path}: torn trailing line in a complete "
+                        "run (corrupt run store)"
+                    )
+                with open(self.cells_path, "r+b") as handle:
+                    handle.truncate(offset)
+                break
+            try:
+                payload = json.loads(raw_line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = None
+            if not isinstance(payload, dict):
+                # A newline-terminated line that does not parse was fully
+                # written and then damaged: corruption, not a torn append.
+                raise RunStoreError(
+                    f"{self.path}: corrupt line {len(metrics)} in "
+                    "cells.jsonl"
+                )
+            index = len(metrics)
+            if index >= len(cells):
+                raise RunStoreError(
+                    f"{self.path}: cells.jsonl holds more lines than the "
+                    f"spec expands to ({len(cells)} cells)"
+                )
+            stored_cell = payload.get("cell")
+            if not isinstance(stored_cell, dict) or cell_key(stored_cell) != cell_key(cells[index]):
+                raise RunStoreError(
+                    f"{self.path}: stored cell {index} does not match the "
+                    "spec expansion (corrupt or mismatched run store)"
+                )
+            stored_metrics = payload.get("metrics")
+            if not isinstance(stored_metrics, dict):
+                raise RunStoreError(
+                    f"{self.path}: stored cell {index} has no metrics dict"
+                )
+            metrics.append(stored_metrics)
+            offset += len(raw_line)
+        if self.complete and len(metrics) != len(cells):
+            raise RunStoreError(
+                f"{self.path}: manifest says complete with "
+                f"{self.manifest.get('cells')} cells but cells.jsonl holds "
+                f"{len(metrics)} of {len(cells)}"
+            )
+        return metrics
+
+    def append(self, cell: Mapping[str, Any], metrics: Mapping[str, Any]) -> None:
+        """Append one completed cell (runner guarantees expansion order)."""
+        if self._handle is None:
+            self._handle = open(self.cells_path, "ab")
+        self._handle.write(_dump_line(cell, metrics).encode("utf-8"))
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _release_lock(self) -> None:
+        if self._lock is not None:
+            self._lock.close()  # closing the fd drops the flock
+            self._lock = None
+
+    def close(self) -> None:
+        """Close the append handle and release the run lock (idempotent)."""
+        self._close_handle()
+        self._release_lock()
+
+    def finalize(self, cell_count: int) -> None:
+        """Mark the run complete: record cell count + cells.jsonl checksum."""
+        self._close_handle()
+        if not os.path.exists(self.cells_path):
+            # A spec can legitimately expand to zero cells (e.g. every b
+            # above the cap); the complete run is an empty file.
+            with open(self.cells_path, "wb"):
+                pass
+        with open(self.cells_path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        self.manifest = {
+            **self.manifest,
+            "complete": True,
+            "cells": cell_count,
+            "cells_sha256": digest,
+        }
+        _write_atomic(self.manifest_path, json.dumps(self.manifest, indent=1) + "\n")
+        self._release_lock()  # finalize is terminal; the run is reopenable
+
+    def reset(self) -> None:
+        """Drop stored cells and completion state (fresh restart)."""
+        self._close_handle()
+        if os.path.exists(self.cells_path):
+            os.unlink(self.cells_path)
+        self.manifest = {
+            key: value
+            for key, value in self.manifest.items()
+            if key not in ("complete", "cells", "cells_sha256")
+        }
+        self.manifest["complete"] = False
+        _write_atomic(self.manifest_path, json.dumps(self.manifest, indent=1) + "\n")
+
+
+class RunStore:
+    """A directory of content-addressed runs, one subdirectory per spec."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    def run_path(self, spec: ExperimentSpec) -> str:
+        return os.path.join(self.root, spec.spec_hash()[:_DIR_HASH_CHARS])
+
+    def cells_file(self, spec: ExperimentSpec) -> str:
+        """Path of the run's ``cells.jsonl`` (no lock taken — read-only
+        inspection; use :meth:`open_run` to mutate a run)."""
+        return os.path.join(self.run_path(spec), "cells.jsonl")
+
+    def open_run(self, spec: ExperimentSpec, resume: bool = False) -> RunState:
+        """Open (creating if needed) the run directory for ``spec``.
+
+        Policy: complete runs are always reused (re-renders never
+        recompute); a partial run is continued when ``resume`` is true
+        and restarted from scratch otherwise. Delete the run directory
+        (or pass a fresh store root) to force recomputation of a
+        complete run.
+        """
+        path = self.run_path(spec)
+        manifest_path = os.path.join(path, "manifest.json")
+        os.makedirs(path, exist_ok=True)
+        lock = _acquire_lock(path)
+        try:
+            if not os.path.exists(manifest_path):
+                manifest = {
+                    "format": RUN_FORMAT,
+                    "version": RUN_VERSION,
+                    "experiment": spec.experiment,
+                    "spec": spec.to_dict(),
+                    "spec_sha256": spec.spec_hash(),
+                    "complete": False,
+                }
+                _write_atomic(
+                    manifest_path, json.dumps(manifest, indent=1) + "\n"
+                )
+                return RunState(path, spec, manifest, lock)
+            try:
+                with open(manifest_path, encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except ValueError as exc:
+                raise RunStoreError(
+                    f"{manifest_path}: not valid JSON: {exc}"
+                ) from None
+            if manifest.get("format") != RUN_FORMAT:
+                raise RunStoreError(
+                    f"{path}: unknown run format {manifest.get('format')!r}"
+                )
+            if int(manifest.get("version", -1)) > RUN_VERSION:
+                raise RunStoreError(
+                    f"{path}: run version {manifest.get('version')} is newer "
+                    f"than supported version {RUN_VERSION}"
+                )
+            if manifest.get("spec_sha256") != spec.spec_hash():
+                raise RunStoreError(
+                    f"{path}: stored spec hash "
+                    f"{manifest.get('spec_sha256')!r} does not match this "
+                    f"spec ({spec.spec_hash()}); the run directory is "
+                    "corrupt or hand-edited"
+                )
+            state = RunState(path, spec, manifest, lock)
+            if not state.complete and not resume:
+                state.reset()
+            return state
+        except BaseException:
+            if lock is not None:
+                lock.close()
+            raise

@@ -35,6 +35,38 @@ class TestCommonKnobs:
         with pytest.raises(ValueError):
             common.object_scale_cap()
 
+    def test_non_numeric_values_name_the_env_var(self, monkeypatch):
+        # A bare int() used to blow up with an anonymous ValueError before
+        # the guarded range check ran; the message must name the knob.
+        monkeypatch.setenv("REPRO_REPS", "many")
+        with pytest.raises(ValueError, match="REPRO_REPS"):
+            common.monte_carlo_reps()
+        monkeypatch.setenv("REPRO_B_MAX", "huge")
+        with pytest.raises(ValueError, match="REPRO_B_MAX"):
+            common.object_scale_cap()
+
+    @pytest.mark.parametrize(
+        "env,value,getter",
+        [
+            ("REPRO_EFFORT", "turbo", lambda: common.adversary_effort()),
+            ("REPRO_REPS", "many", lambda: common.monte_carlo_reps()),
+            ("REPRO_REPS", "", lambda: common.monte_carlo_reps()),
+            ("REPRO_REPS", "0", lambda: common.monte_carlo_reps()),
+            ("REPRO_B_MAX", "huge", lambda: common.object_scale_cap()),
+            ("REPRO_B_MAX", "-5", lambda: common.object_scale_cap()),
+            ("REPRO_WORKERS", "lots", lambda: common.attack_workers()),
+            ("REPRO_WORKERS", "0", lambda: common.attack_workers()),
+            ("REPRO_ATTACK_CACHE", "maybe",
+             lambda: common.attack_cache_enabled()),
+        ],
+    )
+    def test_every_knob_rejects_bad_values_by_name(
+        self, monkeypatch, env, value, getter
+    ):
+        monkeypatch.setenv(env, value)
+        with pytest.raises(ValueError, match=env):
+            getter()
+
     def test_ladders(self):
         assert common.PAPER_B_LADDER[0] == 600
         assert common.PAPER_B_LADDER[-1] == 38400

@@ -1,0 +1,197 @@
+"""Run-store integrity: prefixes, torn writes, checksums, reuse policy."""
+
+import json
+import os
+
+import pytest
+
+from repro.exp.spec import ExperimentSpec
+from repro.exp.store import RunStore, RunStoreError
+
+CELLS = [{"i": 0}, {"i": 1}, {"i": 2}]
+
+
+def _spec():
+    return ExperimentSpec.build("fig4", axes={"n": (31,), "r": (3,)})
+
+
+def _fill(state, cells, start=0):
+    for index in range(start, len(cells)):
+        state.append(cells[index], {"value": index * 10})
+    state.flush()
+
+
+class TestLifecycle:
+    def test_fresh_open_empty_prefix(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        assert state.load_prefix(CELLS) == []
+        assert not state.complete
+
+    def test_append_finalize_reload(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.finalize(len(CELLS))
+
+        reopened = store.open_run(_spec())
+        assert reopened.complete
+        loaded = reopened.load_prefix(CELLS)
+        assert loaded == [{"value": 0}, {"value": 10}, {"value": 20}]
+
+    def test_complete_runs_survive_non_resume_open(self, tmp_path):
+        # "Re-renders never recompute": completeness is never discarded.
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.finalize(len(CELLS))
+        assert store.open_run(_spec(), resume=False).complete
+
+    def test_partial_run_restarts_without_resume(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        state.append(CELLS[0], {"value": 0})
+        state.close()
+        fresh = store.open_run(_spec(), resume=False)
+        assert fresh.load_prefix(CELLS) == []
+
+    def test_partial_run_keeps_prefix_with_resume(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        state.append(CELLS[0], {"value": 0})
+        state.close()
+        resumed = store.open_run(_spec(), resume=True)
+        assert resumed.load_prefix(CELLS) == [{"value": 0}]
+
+
+class TestCorruption:
+    def test_torn_trailing_line_is_truncated(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS[:2])
+        state.close()
+        with open(state.cells_path, "ab") as handle:
+            handle.write(b'{"cell": {"i": 2}, "met')  # killed mid-write
+        resumed = store.open_run(_spec(), resume=True)
+        assert resumed.load_prefix(CELLS) == [{"value": 0}, {"value": 10}]
+        # The torn bytes are gone: appends continue cleanly.
+        with open(state.cells_path, "rb") as handle:
+            assert handle.read().endswith(b"}\n")
+
+    def test_newline_terminated_garbage_tail_is_corruption(self, tmp_path):
+        # A fully written (newline-terminated) line that fails to parse
+        # was damaged after the fact — never silently truncated.
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS[:2])
+        state.close()
+        with open(state.cells_path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        with pytest.raises(RunStoreError, match="corrupt"):
+            store.open_run(_spec(), resume=True).load_prefix(CELLS)
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.close()
+        with open(state.cells_path, "r+b") as handle:
+            handle.seek(3)
+            handle.write(b"\xff\xff")
+        with pytest.raises(RunStoreError, match="corrupt"):
+            store.open_run(_spec(), resume=True).load_prefix(CELLS)
+
+    def test_checksum_mismatch_on_complete_run(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.finalize(len(CELLS))
+        line = json.dumps(
+            {"cell": dict(CELLS[0]), "metrics": {"value": 999}},
+            sort_keys=True, separators=(",", ":"),
+        )
+        with open(state.cells_path, "r+", encoding="utf-8") as handle:
+            handle.write(line)
+        with pytest.raises(RunStoreError, match="checksum"):
+            store.open_run(_spec()).load_prefix(CELLS)
+
+    def test_cell_mismatch_is_an_error(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.close()
+        wrong = [{"i": 9}, {"i": 1}, {"i": 2}]
+        with pytest.raises(RunStoreError, match="does not match"):
+            store.open_run(_spec(), resume=True).load_prefix(wrong)
+
+    def test_extra_lines_rejected(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.close()
+        with pytest.raises(RunStoreError, match="more lines"):
+            store.open_run(_spec(), resume=True).load_prefix(CELLS[:2])
+
+    def test_spec_hash_mismatch_rejected(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        state.close()
+        manifest = json.loads(open(state.manifest_path).read())
+        manifest["spec_sha256"] = "0" * 64
+        with open(state.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(RunStoreError, match="hash"):
+            store.open_run(_spec())
+
+
+class TestLocking:
+    def test_concurrent_open_of_one_run_is_rejected(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        with pytest.raises(RunStoreError, match="in use"):
+            store.open_run(_spec())
+        state.close()
+        store.open_run(_spec()).close()  # released -> reopenable
+
+    def test_leftover_lock_file_never_blocks(self, tmp_path):
+        # The flock is kernel state, dropped when its holder exits; the
+        # file (and whatever pid it records) is diagnostic residue only.
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        state.close()
+        with open(os.path.join(state.path, "lock"), "w") as handle:
+            handle.write("garbage")
+        store.open_run(_spec(), resume=True).close()
+
+    def test_finalize_releases_the_lock(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.finalize(len(CELLS))
+        # finalize is terminal: the completed run is immediately
+        # reopenable without an explicit close.
+        assert store.open_run(_spec()).complete
+
+    def test_failed_open_releases_the_lock(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        state.close()
+        manifest = json.loads(open(state.manifest_path).read())
+        manifest["format"] = "bogus"
+        with open(state.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(RunStoreError, match="unknown run format"):
+            store.open_run(_spec())
+        # The lock did not leak: a second attempt fails the same way, not
+        # with "in use by live process".
+        with pytest.raises(RunStoreError, match="unknown run format"):
+            store.open_run(_spec())
+
+
+class TestAddressing:
+    def test_distinct_specs_get_distinct_directories(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        a = _spec()
+        b = ExperimentSpec.build("fig4", axes={"n": (71,), "r": (3,)})
+        assert store.run_path(a) != store.run_path(b)
+        assert os.path.basename(store.run_path(a)) == a.spec_hash()[:16]

@@ -26,6 +26,85 @@ class TestFigureCommand:
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
 
+    def test_list_catalog(self, capsys):
+        assert main(["figure", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig9a", "fig11", "appendix_a"):
+            assert name in out
+        assert "Lemma-4" in out  # descriptions, not just names
+
+    def test_no_name_and_no_list_is_an_error(self, capsys):
+        assert main(["figure"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_list_catalog(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "Monte-Carlo" in out
+
+    def test_unknown_name_lists_known_up_front(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "fig2" in err
+
+    def test_run_with_store_resume_and_rerender(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        args = ["run", "fig4", "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "Fig 4" in first.out
+        assert "0 loaded" in first.err
+
+        # Second invocation re-renders entirely from the store.
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "0 computed" in second.err
+
+    def test_run_limit_then_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(["run", "fig4", "--store", store, "--limit", "2"]) == 0
+        partial = capsys.readouterr()
+        assert "partial" in partial.err
+        assert main(["run", "fig4", "--store", store, "--resume"]) == 0
+        resumed = capsys.readouterr()
+        assert "Fig 4" in resumed.out
+        assert "0 recomputed" in resumed.err
+
+    def test_run_spec_json(self, tmp_path, capsys):
+        from repro.analysis import fig11
+
+        spec = fig11.default_spec(systems=((71, 3),), k_max=3)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["run", str(path), "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 11" in out
+
+    def test_run_bad_spec_json(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"experiment": "nope"}))
+        assert main(["run", str(path), "--no-store"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_missing_target(self, capsys):
+        assert main(["run"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+    def test_run_spec_missing_constants_fails_cleanly(self, tmp_path, capsys):
+        # Kernel-level spec errors surface as `run: ...`, not a traceback.
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"experiment": "fig2"}))
+        assert main(["run", str(path), "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("run:") and "constant" in err
+
+    def test_run_bad_workers_fails_cleanly(self, capsys):
+        assert main(["run", "fig4", "--no-store", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
 
 class TestPlaceCommand:
     def test_random_to_stdout(self, capsys):
