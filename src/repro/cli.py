@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop after computing about this many new cells "
                      "(at the next shard boundary), leaving a resumable "
                      "partial run")
+    run.add_argument("--threads", type=int, default=None,
+                     help="native-kernel thread budget for this run, split "
+                     "across --workers processes (default: "
+                     "$REPRO_NATIVE_THREADS/cpu count; results are "
+                     "identical for every value)")
 
     place = commands.add_parser("place", help="compute and emit a placement")
     place.add_argument("--strategy", choices=("combo", "simple", "random"),
@@ -125,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--no-cache", action="store_true",
                         help="always search, skipping the warm attack-result "
                         "memo (default: $REPRO_ATTACK_CACHE/on)")
+    attack.add_argument("--threads", type=int, default=None,
+                        help="native-kernel thread budget (default: "
+                        "$REPRO_NATIVE_THREADS/cpu count; results are "
+                        "identical for every value)")
+    attack.add_argument("--mmap", action="store_true",
+                        help="memory-map .npz placement rows instead of "
+                        "loading them eagerly (lazy page-in at large b)")
 
     simulate = commands.add_parser(
         "simulate",
@@ -325,6 +337,7 @@ def _run_exp(args) -> int:
             store=store,
             resume=args.resume,
             limit=args.limit,
+            threads=args.threads,
         )
     except RunStoreError as exc:
         print(f"run: {exc}", file=sys.stderr)
@@ -408,10 +421,17 @@ def _run_place(args) -> int:
 
 
 def _run_attack(args) -> int:
+    from repro.core import native
     from repro.core.artifact import load_placement
     from repro.core.batch import AttackCell, batch_attack
 
-    placement = load_placement(args.placement)
+    if args.threads is not None:
+        if args.threads < 1:
+            print(f"--threads must be >= 1, got {args.threads}",
+                  file=sys.stderr)
+            return 2
+        native.configure_threads(args.threads)
+    placement = load_placement(args.placement, mmap=args.mmap)
     cells = [AttackCell(k, args.s, args.effort) for k in args.k]
     results = batch_attack(
         placement, cells, backend=args.kernel, workers=args.workers,

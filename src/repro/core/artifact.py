@@ -32,13 +32,19 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import mmap as _mmaplib
 import struct
 import sys
 import zipfile
 from array import array
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.placement import Placement, PlacementError
+
+try:  # optional accelerator for mmap-view validation
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    _np = None
 
 PLACEMENT_FORMAT = "repro-placement"
 PLACEMENT_VERSION = 1
@@ -107,6 +113,92 @@ def _parse_npy(blob: bytes):
     return rows, shape
 
 
+def _member_span(path: str, info: zipfile.ZipInfo) -> Tuple[int, int]:
+    """``(file_offset, size)`` of an uncompressed zip member's raw data.
+
+    ``ZipInfo.header_offset`` points at the member's *local* header, whose
+    name/extra fields can differ in length from the central directory's
+    copy — the offset must come from the local record itself.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        # A compressed member is a *valid* artifact that simply has no
+        # mappable byte range — plain ValueError so load_npz falls back
+        # to the eager decompressing path instead of rejecting the file.
+        raise ValueError(
+            f"{path}: member {info.filename!r} is compressed; "
+            f"mmap needs the stored layout save_npz writes"
+        )
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ArtifactError(f"{path}: corrupt local header for {info.filename!r}")
+    name_len, extra_len = struct.unpack("<HH", local[26:30])
+    return info.header_offset + 30 + name_len + extra_len, info.file_size
+
+
+def _stream_digest(path: str, offset: int, size: int) -> str:
+    """sha256 of a file region, read in chunks (never via a mapping)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        remaining = size
+        while remaining > 0:
+            chunk = handle.read(min(remaining, 1 << 20))
+            if not chunk:
+                raise ArtifactError(f"{path}: truncated row data")
+            digest.update(chunk)
+            remaining -= len(chunk)
+    return digest.hexdigest()
+
+
+def _map_rows(path: str, offset: int, size: int):
+    """An int32 memoryview over a file region via a copy-on-write mapping.
+
+    ``ACCESS_COPY`` keeps the mapping writable (ctypes ``from_buffer``
+    refuses read-only buffers) without ever dirtying the file; pages fault
+    in lazily as kernels touch them. The returned view pins the mapping
+    alive; the descriptor is closed immediately (mappings outlive fds).
+    """
+    grain = _mmaplib.ALLOCATIONGRANULARITY
+    base = offset - offset % grain
+    delta = offset - base
+    with open(path, "rb") as handle:
+        mapped = _mmaplib.mmap(
+            handle.fileno(), delta + size,
+            access=_mmaplib.ACCESS_COPY, offset=base,
+        )
+    return memoryview(mapped)[delta:delta + size].cast("i")
+
+
+def _validate_view(view, n: int, b: int, r: int, path: str) -> None:
+    """Structural validation of an int32 row view without copying it.
+
+    Stricter than the artifact checksum: every row must be strictly
+    ascending (which covers both sortedness — a format invariant — and
+    replica distinctness) with nodes in ``[0, n)``.
+    """
+    if _np is not None:
+        matrix = _np.frombuffer(view, dtype=_np.int32).reshape(b, r)
+        ok = bool((matrix[:, 0] >= 0).all()) and bool((matrix[:, -1] < n).all())
+        if ok and r > 1:
+            ok = bool((matrix[:, 1:] > matrix[:, :-1]).all())
+        if not ok:
+            raise ArtifactError(
+                f"{path}: rows are not sorted distinct in-range node ids"
+            )
+        return
+    for obj_id in range(b):
+        previous = -1
+        for node in view[obj_id * r:(obj_id + 1) * r]:
+            if not previous < node < n:
+                raise ArtifactError(
+                    f"{path}: object {obj_id} has invalid replica row "
+                    f"{list(view[obj_id * r:(obj_id + 1) * r])}"
+                )
+            previous = node
+
+
 def save_npz(placement: Placement, path: str) -> None:
     """Write ``placement`` as a ``.npz`` artifact (versioned, checksummed)."""
     row_data = _row_bytes_le(placement)
@@ -126,7 +218,7 @@ def save_npz(placement: Placement, path: str) -> None:
         )
 
 
-def load_npz(path: str, validate: bool = False) -> Placement:
+def load_npz(path: str, validate: bool = False, mmap: bool = False) -> Placement:
     """Read a ``.npz`` placement artifact written by :func:`save_npz`.
 
     The rows checksum is always verified; ``validate=True`` additionally
@@ -136,7 +228,25 @@ def load_npz(path: str, validate: bool = False) -> Placement:
     function is for artifacts *this program wrote* (the memoized reload
     path). Boundary code loading files of unknown provenance goes
     through :func:`load_placement`, which validates by default.
+
+    ``mmap=True`` memory-maps the row matrix out of the archive instead
+    of copying it into the heap: the checksum is still enforced (by
+    streaming the file region, so page-cache reads — never the process
+    mapping — pay for it) and the placement's row buffer becomes a lazy
+    copy-on-write view whose pages fault in as kernels touch them — the
+    difference between "engine-ready" RSS scaling with b and scaling with
+    the touched working set. Falls back to the eager load when the
+    filesystem refuses to map (network mounts, exotic platforms).
     """
+    if mmap:
+        try:
+            return _load_npz_mmap(path, validate=validate)
+        except ArtifactError:
+            raise  # bad artifacts stay rejected; only mmap refusal falls back
+        except (OSError, ValueError):
+            # mmap refused (filesystem, platform, zero-length quirk):
+            # the eager path reads the same checked bytes.
+            pass
     try:
         with zipfile.ZipFile(path) as archive:
             names = set(archive.namelist())
@@ -190,6 +300,93 @@ def load_npz(path: str, validate: bool = False) -> Placement:
     )
 
 
+def _load_npz_mmap(path: str, validate: bool) -> Placement:
+    """The mmap-backed arm of :func:`load_npz`.
+
+    Header parsing and checksum verification read through the page cache;
+    only the row matrix itself is mapped. Raises :class:`ArtifactError`
+    for bad artifacts and ``OSError``/``ValueError`` when the platform or
+    filesystem refuses the mapping (the caller falls back to eager).
+    """
+    if sys.byteorder == "big":  # pragma: no cover - no big-endian CI leg
+        raise ValueError("mmap rows are little-endian; eager load byteswaps")
+    try:
+        with zipfile.ZipFile(path) as archive:
+            names = set(archive.namelist())
+            if "header.json" not in names or "rows.npy" not in names:
+                raise ArtifactError(
+                    f"{path}: not a placement artifact "
+                    f"(members: {sorted(names)})"
+                )
+            header = json.loads(archive.read("header.json"))
+            member = archive.getinfo("rows.npy")
+    except zipfile.BadZipFile as exc:
+        raise ArtifactError(f"{path}: not a zip archive: {exc}") from None
+    if header.get("format") != PLACEMENT_FORMAT:
+        raise ArtifactError(
+            f"{path}: unknown artifact format {header.get('format')!r}"
+        )
+    if int(header.get("version", -1)) > PLACEMENT_VERSION:
+        raise ArtifactError(
+            f"{path}: artifact version {header.get('version')} is newer "
+            f"than supported version {PLACEMENT_VERSION}"
+        )
+    try:
+        n = int(header["n"])
+        b, r = int(header["b"]), int(header["r"])
+        expected_digest = header["sha256"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"{path}: malformed artifact header: {exc!r}"
+        ) from None
+    member_offset, member_size = _member_span(path, member)
+    # Parse just the NPY envelope (magic + header) from the member head.
+    with open(path, "rb") as handle:
+        handle.seek(member_offset)
+        head = handle.read(min(member_size, 1 << 12))
+    if head[:6] != _NPY_MAGIC:
+        raise ArtifactError("rows.npy: not an NPY file")
+    if head[6] == 1:
+        (header_len,) = struct.unpack("<H", head[8:10])
+        npy_offset = 10 + header_len
+    elif head[6] == 2:  # pragma: no cover - we never write v2
+        (header_len,) = struct.unpack("<I", head[8:12])
+        npy_offset = 12 + header_len
+    else:
+        raise ArtifactError(f"rows.npy: unsupported NPY version {head[6]}")
+    if npy_offset > len(head):
+        raise ArtifactError("rows.npy: oversized NPY header")
+    npy_header = ast.literal_eval(
+        head[10 if head[6] == 1 else 12:npy_offset].decode("latin1")
+    )
+    if npy_header.get("fortran_order"):
+        raise ArtifactError("rows.npy: fortran order is not supported")
+    if npy_header.get("descr") not in ("<i4", "|i4"):
+        raise ArtifactError(
+            f"rows.npy: expected little-endian int32 rows, "
+            f"got {npy_header.get('descr')!r}"
+        )
+    if npy_header.get("shape") != (b, r):
+        raise ArtifactError(
+            f"{path}: header says ({b}, {r}) but rows.npy holds "
+            f"{npy_header.get('shape')}"
+        )
+    data_offset = member_offset + npy_offset
+    data_size = 4 * b * r
+    if npy_offset + data_size > member_size:
+        raise ArtifactError("rows.npy: truncated row data")
+    if _stream_digest(path, data_offset, data_size) != expected_digest:
+        raise ArtifactError(
+            f"{path}: rows checksum mismatch (corrupt artifact)"
+        )
+    view = _map_rows(path, data_offset, data_size)
+    if validate:
+        _validate_view(view, n, b, r, path)
+    return Placement(
+        n=n, rows=view, r=r, strategy=str(header.get("strategy", ""))
+    )
+
+
 def save_placement(placement: Placement, path: str) -> None:
     """Write a placement artifact; format chosen by extension.
 
@@ -204,7 +401,9 @@ def save_placement(placement: Placement, path: str) -> None:
         handle.write("\n")
 
 
-def load_placement(path: str, validate: Optional[bool] = None) -> Placement:
+def load_placement(
+    path: str, validate: Optional[bool] = None, mmap: bool = False
+) -> Placement:
     """Read a placement artifact; format chosen by extension.
 
     This is the boundary loader (the CLI routes through it), so rows are
@@ -214,9 +413,15 @@ def load_placement(path: str, validate: Optional[bool] = None) -> Placement:
     paths unchecked. Internal reload paths that wrote the artifact
     themselves pass ``validate=False`` (or call :func:`load_npz`
     directly) to skip the O(b r) re-check.
+
+    ``mmap=True`` (``.npz`` only; ignored for JSON) backs the rows with a
+    lazy copy-on-write mapping — see :func:`load_npz`. Validation still
+    runs by default (in place over the view, no copy).
     """
     if path.endswith(".npz"):
-        return load_npz(path, validate=True if validate is None else validate)
+        return load_npz(
+            path, validate=True if validate is None else validate, mmap=mmap
+        )
     with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)

@@ -375,11 +375,20 @@ def batch_attack(
                 for index, attack in chunk:
                     results[index] = attack
         if pending:
+            from repro.core import native
+
             methods = multiprocessing.get_all_start_methods()
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
             )
-            with context.Pool(processes=min(workers, len(pending))) as pool:
+            processes = min(workers, len(pending))
+            # Split the kernel thread budget across the fan-out so
+            # (workers x kernel threads) never oversubscribes the host.
+            with context.Pool(
+                processes=processes,
+                initializer=native.configure_threads,
+                initargs=(native.worker_thread_budget(processes),),
+            ) as pool:
                 chunks = pool.starmap(_attack_group, pending)
             for chunk in chunks:
                 for index, attack in chunk:

@@ -1159,15 +1159,37 @@ class _NumpyGainKernel(GainKernel):
             gain = _np.zeros(self.n, dtype=_np.int64)
         return _GainHits(counts, gain, 0)
 
+    #: Objects per block of the bulk rebuild; bounds temp memory at
+    #: ``block * r`` indices regardless of b.
+    _REBUILD_BLOCK = 1 << 16
+
     def hits_for(self, nodes: Sequence[int]) -> _GainHits:
         node_list = list(nodes)
         if not node_list:
             return self.empty_hits()
-        matrix = self.incidence.matrix()
-        counts = matrix[:, node_list].sum(axis=1, dtype=_np.int32)
-        at_target = (counts == self.s - 1).astype(_np.int64)
-        gain = at_target @ matrix  # the vectorized M @ (counts == s-1) rebuild
-        dead = int((counts >= self.s).sum())
+        # Blocked direct rebuild over the (b, r) replica matrix: node
+        # occurrence flags, per-object hit counts via a stride-1 row
+        # gather, gain via bincount over at-target rows. Equivalent to
+        # (and bit-identical with) the historical dense
+        # ``M @ (counts == s - 1)`` path, but never materializes the
+        # b x n incidence matrix — the difference between b = 1e5 and
+        # b = 1e7 being feasible on this backing.
+        flags = _np.zeros(self.n, dtype=_np.int32)
+        _np.add.at(flags, node_list, 1)
+        rows = self._obj_matrix
+        counts = _np.empty(self.b, dtype=_np.int32)
+        gain = _np.zeros(self.n, dtype=_np.int64)
+        dead = 0
+        target = self.s - 1
+        for lo in range(0, self.b, self._REBUILD_BLOCK):
+            hi = min(lo + self._REBUILD_BLOCK, self.b)
+            chunk = rows[lo:hi]
+            hit = flags[chunk].sum(axis=1, dtype=_np.int32)
+            counts[lo:hi] = hit
+            dead += int((hit >= self.s).sum())
+            at_target = chunk[hit == target]
+            if len(at_target):
+                gain += _np.bincount(at_target.ravel(), minlength=self.n)
         return _GainHits(counts, gain, dead)
 
     def add_node(self, hits: _GainHits, node: int) -> _GainHits:
@@ -1263,6 +1285,16 @@ class _NativeGainKernel(GainKernel):
     a LocalSearch sweep kernel-bound rather than interpreter-bound.
     Instances are not thread-safe (they share small scratch buffers);
     process fan-out via the batch engine is unaffected.
+
+    Every call goes through the ``*_mt`` entry points against the
+    process-wide worker pool (``REPRO_NATIVE_THREADS`` /
+    :func:`repro.core.native.configure_threads`); with a one-thread
+    budget, or below the in-kernel work thresholds, those delegate to the
+    serial loops, and at any thread count the results are bit-identical
+    (per-lane partials merged in index order). ctypes releases the GIL
+    for the duration of each foreign call, so the pool's threads run
+    unimpeded. The pool handle is re-fetched whenever the pool epoch
+    moves (fork, reconfigure) — stale handles are never dereferenced.
     """
 
     backing = "native"
@@ -1270,18 +1302,28 @@ class _NativeGainKernel(GainKernel):
     def __init__(self, incidence: Incidence, s: int) -> None:
         super().__init__(incidence, s)
         lib = _native.load()
-        self._add = lib.gk_add_node
-        self._remove = lib.gk_remove_node
-        self._bulk = lib.gk_bulk_build
-        self._best = lib.gk_best_addition
-        self._swap = lib.gk_try_swap
-        self._pass = lib.gk_polish_pass
+        self._add = lib.gk_add_node_mt
+        self._remove = lib.gk_remove_node_mt
+        self._bulk = lib.gk_bulk_build_mt
+        self._best = lib.gk_best_addition_mt
+        self._swap = lib.gk_try_swap_mt
+        self._pass = lib.gk_polish_pass_mt
         self._bound = lib.gk_optimistic_bound
         self._banned = array("i", bytes(4 * self.n))
         self._banned_ptr = _native.i32_ptr(self._banned)
         self._out = array("i", [0])
         self._out_ptr = _native.i32_ptr(self._out)
+        self._pool_handle = None
+        self._pool_seen = -1
         self._bind_model()
+
+    def _pool(self):
+        """The process-wide pool handle, epoch-cached per kernel."""
+        epoch = _native.pool_epoch()
+        if self._pool_seen != epoch:
+            self._pool_handle = _native.current_pool()
+            self._pool_seen = _native.pool_epoch()
+        return self._pool_handle
 
     def _bind_model(self) -> None:
         """(Re)export the CSR model and empty-state template to C."""
@@ -1334,17 +1376,20 @@ class _NativeGainKernel(GainKernel):
             array("i", bytes(4 * (self.b + self.n + 1))), self.b, self.n
         )
         node_arr = array("i", nodes)
+        # Both CSR exports lay object offsets out as the stride-r ramp,
+        # which the threaded rebuild exploits as a contiguous row walk.
         self._bulk(
-            self._model_ref, _native.i32_ptr(node_arr), len(node_arr), hits.ptr
+            self._model_ref, self._pool(), _native.i32_ptr(node_arr),
+            len(node_arr), self.placement.r, hits.ptr,
         )
         return hits
 
     def add_node(self, hits: _NativeGainHits, node: int) -> _NativeGainHits:
-        self._add(self._model_ref, node, hits.ptr)
+        self._add(self._model_ref, self._pool(), node, hits.ptr)
         return hits
 
     def remove_node(self, hits: _NativeGainHits, node: int) -> _NativeGainHits:
-        self._remove(self._model_ref, node, hits.ptr)
+        self._remove(self._model_ref, self._pool(), node, hits.ptr)
         return hits
 
     def damage_of(self, hits: _NativeGainHits) -> int:
@@ -1355,7 +1400,8 @@ class _NativeGainKernel(GainKernel):
         for node in banned:
             flags[node] = 1
         best = self._best(
-            self._model_ref, hits.ptr, self._banned_ptr, self._out_ptr
+            self._model_ref, self._pool(), hits.ptr, self._banned_ptr,
+            self._out_ptr,
         )
         for node in banned:
             flags[node] = 0
@@ -1368,8 +1414,8 @@ class _NativeGainKernel(GainKernel):
         for banned_node in banned:
             flags[banned_node] = 1
         swapped = self._swap(
-            self._model_ref, node, self._banned_ptr, current, hits.ptr,
-            self._out_ptr,
+            self._model_ref, self._pool(), node, self._banned_ptr, current,
+            hits.ptr, self._out_ptr,
         )
         for banned_node in banned:
             flags[banned_node] = 0
@@ -1383,7 +1429,7 @@ class _NativeGainKernel(GainKernel):
         for node in nodes:
             flags[node] = 1
         improved = self._pass(
-            self._model_ref, hits.ptr, _native.i32_ptr(node_arr),
+            self._model_ref, self._pool(), hits.ptr, _native.i32_ptr(node_arr),
             len(node_arr), self._banned_ptr, current, self._out_ptr,
         )
         final_nodes = node_arr.tolist()

@@ -17,19 +17,38 @@ same bit-for-bit behaviour.
 
 Compiled artifacts are cached under a per-user directory (override with
 ``REPRO_NATIVE_CACHE``), keyed by a hash of the embedded C source, so the
-compiler runs once per source revision per machine.
+compiler runs once per source revision per machine. The compiler is
+``REPRO_CC`` (or ``CC``) when set, else the first working of cc/gcc/clang;
+optimization tries ``-O3`` and falls back to ``-O2``. :func:`compile_info`
+reports what actually built (or was cached for) the loaded library.
+
+**Multicore.** The library also carries a persistent pthread worker pool
+(:func:`current_pool`, sized by ``REPRO_NATIVE_THREADS`` — default
+``os.cpu_count()`` — or :func:`configure_threads`). The ``*_mt`` entry
+points partition their work across the pool with per-thread gain-table
+partials merged in index order, so results are **bit-for-bit identical to
+the serial path at any thread count**; below fixed work thresholds they
+delegate to the serial loops, so tiny instances never pay dispatch
+overhead. Every foreign call goes through :class:`ctypes.CDLL`, which
+releases the GIL for the call's duration — kernel threads therefore
+*compose with* the process fan-out of :mod:`repro.core.batch` and
+:mod:`repro.exp.runner` (which split the thread budget across workers)
+instead of competing against the interpreter lock. Worker threads do not
+survive ``fork``; an :func:`os.register_at_fork` hook drops the stale pool
+in children, which lazily rebuild one on first use.
 """
 
 from __future__ import annotations
 
 import ctypes
 import hashlib
+import json
 import os
 import subprocess
 import sys
 import tempfile
 from array import array
-from typing import Optional
+from typing import Any, Dict, Optional
 
 #: The C implementation of the gain-engine hot loops. ``counts`` is the
 #: per-object hit vector, ``gain[v]`` the number of objects exactly one
@@ -38,10 +57,13 @@ from typing import Optional
 #: changed node (the O(delta) update of the gain-table engine); the fused
 #: ``try_swap`` runs one local-search polish position in a single call.
 _SOURCE = r"""
+#include <pthread.h>
 #include <stdint.h>
+#include <stdlib.h>
 #include <string.h>
 
 typedef int32_t i32;
+typedef int64_t i64;
 
 typedef struct {
     i32 n, b, s;
@@ -198,13 +220,466 @@ i32 gk_optimistic_bound(const gk_model *m, const i32 *state,
     }
     return killable;
 }
+
+/* ================= persistent worker pool ================= */
+
+/* Barrier-style pool: gk_pool_run hands one task to every lane (the
+   caller participates as lane 0), then waits for the workers. Lanes
+   write disjoint state regions plus per-lane partials that the caller
+   merges in lane order, so results never depend on scheduling. The
+   task-hand-off mutex provides the happens-before edges. */
+
+typedef void (*gk_task_fn)(void *ctx, i32 tid, i32 nthreads);
+
+typedef struct gk_pool gk_pool;
+
+typedef struct {
+    gk_pool *pool;
+    i32 tid;
+} gk_worker_arg;
+
+struct gk_pool {
+    i32 nthreads;              /* lanes, including the calling thread */
+    pthread_t *threads;        /* nthreads - 1 workers */
+    gk_worker_arg *args;
+    pthread_mutex_t run_lock;  /* serializes concurrent gk_pool_run calls */
+    pthread_mutex_t lock;
+    pthread_cond_t work_cv;
+    pthread_cond_t done_cv;
+    unsigned long generation;
+    i32 pending;
+    i32 shutdown;
+    gk_task_fn task;
+    void *ctx;
+};
+
+static void *gk_worker(void *raw)
+{
+    gk_worker_arg *arg = (gk_worker_arg *)raw;
+    gk_pool *pool = arg->pool;
+    unsigned long seen = 0;
+    pthread_mutex_lock(&pool->lock);
+    for (;;) {
+        while (!pool->shutdown && pool->generation == seen)
+            pthread_cond_wait(&pool->work_cv, &pool->lock);
+        if (pool->shutdown)
+            break;
+        seen = pool->generation;
+        gk_task_fn task = pool->task;
+        void *ctx = pool->ctx;
+        pthread_mutex_unlock(&pool->lock);
+        task(ctx, arg->tid, pool->nthreads);
+        pthread_mutex_lock(&pool->lock);
+        if (--pool->pending == 0)
+            pthread_cond_signal(&pool->done_cv);
+    }
+    pthread_mutex_unlock(&pool->lock);
+    return NULL;
+}
+
+gk_pool *gk_pool_create(i32 nthreads)
+{
+    if (nthreads < 1)
+        nthreads = 1;
+    gk_pool *pool = (gk_pool *)calloc(1, sizeof(gk_pool));
+    if (!pool)
+        return NULL;
+    pool->nthreads = 1;
+    pthread_mutex_init(&pool->run_lock, NULL);
+    pthread_mutex_init(&pool->lock, NULL);
+    pthread_cond_init(&pool->work_cv, NULL);
+    pthread_cond_init(&pool->done_cv, NULL);
+    if (nthreads > 1) {
+        pool->threads = (pthread_t *)calloc((size_t)nthreads - 1,
+                                            sizeof(pthread_t));
+        pool->args = (gk_worker_arg *)calloc((size_t)nthreads - 1,
+                                             sizeof(gk_worker_arg));
+        if (pool->threads && pool->args) {
+            for (i32 t = 1; t < nthreads; t++) {
+                pool->args[t - 1].pool = pool;
+                pool->args[t - 1].tid = t;
+                /* nthreads is what workers read for their range split, so
+                   it must already count this lane before it starts. */
+                pool->nthreads = t + 1;
+                if (pthread_create(&pool->threads[t - 1], NULL, gk_worker,
+                                   &pool->args[t - 1])) {
+                    pool->nthreads = t;  /* spawn failed: stop here */
+                    break;
+                }
+            }
+        }
+    }
+    return pool;
+}
+
+void gk_pool_destroy(gk_pool *pool)
+{
+    if (!pool)
+        return;
+    pthread_mutex_lock(&pool->lock);
+    pool->shutdown = 1;
+    pthread_cond_broadcast(&pool->work_cv);
+    pthread_mutex_unlock(&pool->lock);
+    for (i32 t = 1; t < pool->nthreads; t++)
+        pthread_join(pool->threads[t - 1], NULL);
+    pthread_mutex_destroy(&pool->run_lock);
+    pthread_mutex_destroy(&pool->lock);
+    pthread_cond_destroy(&pool->work_cv);
+    pthread_cond_destroy(&pool->done_cv);
+    free(pool->threads);
+    free(pool->args);
+    free(pool);
+}
+
+i32 gk_pool_threads(const gk_pool *pool)
+{
+    return pool ? pool->nthreads : 1;
+}
+
+static void gk_pool_run(gk_pool *pool, gk_task_fn task, void *ctx)
+{
+    if (!pool || pool->nthreads <= 1) {
+        task(ctx, 0, 1);
+        return;
+    }
+    pthread_mutex_lock(&pool->run_lock);
+    pthread_mutex_lock(&pool->lock);
+    pool->task = task;
+    pool->ctx = ctx;
+    pool->pending = pool->nthreads - 1;
+    pool->generation++;
+    pthread_cond_broadcast(&pool->work_cv);
+    pthread_mutex_unlock(&pool->lock);
+    task(ctx, 0, pool->nthreads);
+    pthread_mutex_lock(&pool->lock);
+    while (pool->pending > 0)
+        pthread_cond_wait(&pool->done_cv, &pool->lock);
+    pthread_mutex_unlock(&pool->lock);
+    pthread_mutex_unlock(&pool->run_lock);
+}
+
+/* Work thresholds below which threading cannot pay for its dispatch. */
+enum {
+    GK_MT_MIN_BUILD = 1 << 14,   /* objects */
+    GK_MT_MIN_MOVE = 1 << 13,    /* node-segment entries */
+    GK_MT_MIN_ARGMAX = 1 << 15   /* nodes */
+};
+
+/* ---- threaded bulk rebuild: object-range partition ----
+
+   The serial rebuild folds node by node; the final (counts, gain, dead)
+   state is a pure function of the folded node multiset, so the threaded
+   path may instead compute it directly: occurrence flags over nodes,
+   then per-object hit counts (a contiguous stride-1 row walk when the
+   object offsets are the uniform stride-r progression — the layout both
+   incidence exports use — which the compiler can vectorize), then a
+   stride-1 classify sweep accumulating per-lane gain partials that the
+   caller merges in lane order. Bit-identical at any thread count. */
+
+typedef struct {
+    const gk_model *m;
+    i32 *counts;
+    const i32 *flags;
+    i32 *partials;     /* lanes x (n + 1); gain partial + dead at [n] */
+    i32 uniform_r;     /* row width when obj_off is the stride-r ramp */
+} gk_build_ctx;
+
+static void gk_build_task(void *raw, i32 tid, i32 nthreads)
+{
+    gk_build_ctx *c = (gk_build_ctx *)raw;
+    const gk_model *m = c->m;
+    const i32 b = m->b, s = m->s, n = m->n;
+    const i32 lo = (i32)((i64)b * tid / nthreads);
+    const i32 hi = (i32)((i64)b * (tid + 1) / nthreads);
+    const i32 *flags = c->flags;
+    i32 *counts = c->counts;
+    i32 *gain = c->partials + (size_t)tid * (n + 1);
+    if (c->uniform_r > 0) {
+        const i32 r = c->uniform_r;
+        const i32 *row = m->obj_nodes + (size_t)lo * r;
+        for (i32 o = lo; o < hi; o++) {
+            i32 hit = 0;
+            for (i32 j = 0; j < r; j++)
+                hit += flags[row[j]];
+            counts[o] = hit;
+            row += r;
+        }
+    } else {
+        for (i32 o = lo; o < hi; o++) {
+            i32 hit = 0;
+            for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                hit += flags[m->obj_nodes[j]];
+            counts[o] = hit;
+        }
+    }
+    i32 dead = 0;
+    for (i32 o = lo; o < hi; o++)
+        dead += (counts[o] >= s);
+    const i32 target = s - 1;
+    for (i32 o = lo; o < hi; o++) {
+        if (counts[o] == target) {
+            for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                gain[m->obj_nodes[j]]++;
+        }
+    }
+    gain[n] = dead;
+}
+
+/* Threaded twin of gk_bulk_build. `uniform_r` is the row width when the
+   object offsets are the arithmetic stride-r progression (both CSR
+   layouts), 0 otherwise. Falls back to the serial fold when the pool is
+   absent, the instance is small, or the failed set is so sparse that the
+   O(touched-objects) fold beats a full O(b) partition. */
+void gk_bulk_build_mt(const gk_model *m, gk_pool *pool, const i32 *nodes,
+                      i32 count, i32 uniform_r, i32 *state)
+{
+    const i32 n = m->n, b = m->b;
+    const i32 lanes = gk_pool_threads(pool);
+    i64 fold = 0;
+    for (i32 i = 0; i < count; i++)
+        fold += m->node_end[nodes[i]] - m->node_off[nodes[i]];
+    if (lanes <= 1 || b < GK_MT_MIN_BUILD || fold < (i64)b / lanes) {
+        gk_bulk_build(m, nodes, count, state);
+        return;
+    }
+    i32 *flags = (i32 *)calloc((size_t)n, sizeof(i32));
+    i32 *partials = (i32 *)calloc((size_t)lanes * (n + 1), sizeof(i32));
+    if (!flags || !partials) {
+        free(flags);
+        free(partials);
+        gk_bulk_build(m, nodes, count, state);
+        return;
+    }
+    for (i32 i = 0; i < count; i++)
+        flags[nodes[i]]++;
+    gk_build_ctx ctx = {m, state, flags, partials, uniform_r};
+    gk_pool_run(pool, gk_build_task, &ctx);
+    i32 *gain = state + b;
+    memset(gain, 0, (size_t)(n + 1) * sizeof(i32));
+    i32 dead = 0;
+    for (i32 t = 0; t < lanes; t++) {
+        const i32 *part = partials + (size_t)t * (n + 1);
+        for (i32 v = 0; v < n; v++)
+            gain[v] += part[v];
+        dead += part[n];
+    }
+    state[b + n] = dead;
+    free(flags);
+    free(partials);
+}
+
+/* ---- threaded single-node moves: segment-range partition ----
+
+   One node's CSR segment lists distinct objects, so lanes may update
+   disjoint count entries in place; boundary-crossing gain updates land
+   in per-lane partials (signed deltas) merged in lane order. */
+
+typedef struct {
+    const gk_model *m;
+    i32 lo, hi;
+    i32 delta;         /* +1 add, -1 remove */
+    i32 *counts;
+    i32 *partials;     /* lanes x (n + 1); gain delta + dead delta at [n] */
+} gk_move_ctx;
+
+static void gk_move_task(void *raw, i32 tid, i32 nthreads)
+{
+    gk_move_ctx *c = (gk_move_ctx *)raw;
+    const gk_model *m = c->m;
+    const i32 s = m->s, n = m->n;
+    const i32 span = c->hi - c->lo;
+    const i32 lo = c->lo + (i32)((i64)span * tid / nthreads);
+    const i32 hi = c->lo + (i32)((i64)span * (tid + 1) / nthreads);
+    i32 *counts = c->counts;
+    i32 *gain = c->partials + (size_t)tid * (n + 1);
+    i32 dead = 0;
+    if (c->delta > 0) {
+        for (i32 i = lo; i < hi; i++) {
+            const i32 o = m->node_objs[i];
+            const i32 v = ++counts[o];
+            if (v == s) {
+                dead++;
+                for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                    gain[m->obj_nodes[j]]--;
+            } else if (v == s - 1) {
+                for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                    gain[m->obj_nodes[j]]++;
+            }
+        }
+    } else {
+        for (i32 i = lo; i < hi; i++) {
+            const i32 o = m->node_objs[i];
+            const i32 v = counts[o]--;
+            if (v == s) {
+                dead--;
+                for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                    gain[m->obj_nodes[j]]++;
+            } else if (v == s - 1) {
+                for (i32 j = m->obj_off[o]; j < m->obj_off[o + 1]; j++)
+                    gain[m->obj_nodes[j]]--;
+            }
+        }
+    }
+    gain[n] = dead;
+}
+
+static void gk_move_mt(const gk_model *m, gk_pool *pool, i32 node, i32 delta,
+                       i32 *state)
+{
+    const i32 lo = m->node_off[node], hi = m->node_end[node];
+    const i32 lanes = gk_pool_threads(pool);
+    if (lanes <= 1 || hi - lo < GK_MT_MIN_MOVE) {
+        if (delta > 0)
+            gk_add_node(m, node, state);
+        else
+            gk_remove_node(m, node, state);
+        return;
+    }
+    const i32 n = m->n;
+    i32 *partials = (i32 *)calloc((size_t)lanes * (n + 1), sizeof(i32));
+    if (!partials) {
+        if (delta > 0)
+            gk_add_node(m, node, state);
+        else
+            gk_remove_node(m, node, state);
+        return;
+    }
+    gk_move_ctx ctx = {m, lo, hi, delta, state, partials};
+    gk_pool_run(pool, gk_move_task, &ctx);
+    i32 *gain = state + m->b;
+    i32 dead = state[m->b + n];
+    for (i32 t = 0; t < lanes; t++) {
+        const i32 *part = partials + (size_t)t * (n + 1);
+        for (i32 v = 0; v < n; v++)
+            gain[v] += part[v];
+        dead += part[n];
+    }
+    state[m->b + n] = dead;
+    free(partials);
+}
+
+void gk_add_node_mt(const gk_model *m, gk_pool *pool, i32 node, i32 *state)
+{
+    gk_move_mt(m, pool, node, 1, state);
+}
+
+void gk_remove_node_mt(const gk_model *m, gk_pool *pool, i32 node,
+                       i32 *state)
+{
+    gk_move_mt(m, pool, node, -1, state);
+}
+
+/* ---- threaded argmax: node-range partition ----
+
+   Per-lane (best gain, lowest-id node) over contiguous ascending ranges,
+   merged in lane order with strict >, preserving the serial lowest-id
+   tie-break exactly. */
+
+typedef struct {
+    const gk_model *m;
+    const i32 *gain;
+    const i32 *banned;
+    i32 *best_nodes;   /* one per lane */
+    i32 *best_gains;
+} gk_argmax_ctx;
+
+static void gk_argmax_task(void *raw, i32 tid, i32 nthreads)
+{
+    gk_argmax_ctx *c = (gk_argmax_ctx *)raw;
+    const i32 n = c->m->n;
+    const i32 lo = (i32)((i64)n * tid / nthreads);
+    const i32 hi = (i32)((i64)n * (tid + 1) / nthreads);
+    i32 best_node = -1, best_gain = -1;
+    for (i32 v = lo; v < hi; v++) {
+        if (c->banned[v])
+            continue;
+        const i32 g = c->gain[v];
+        if (g > best_gain) {
+            best_node = v;
+            best_gain = g;
+        }
+    }
+    c->best_nodes[tid] = best_node;
+    c->best_gains[tid] = best_gain;
+}
+
+i32 gk_best_addition_mt(const gk_model *m, gk_pool *pool, const i32 *state,
+                        const i32 *banned, i32 *damage_out)
+{
+    const i32 lanes = gk_pool_threads(pool);
+    if (lanes <= 1 || m->n < GK_MT_MIN_ARGMAX)
+        return gk_best_addition(m, state, banned, damage_out);
+    i32 best_nodes[64], best_gains[64];
+    if (lanes > 64)  /* static scratch bound; plenty for any real pool */
+        return gk_best_addition(m, state, banned, damage_out);
+    gk_argmax_ctx ctx = {m, state + m->b, banned, best_nodes, best_gains};
+    gk_pool_run(pool, gk_argmax_task, &ctx);
+    i32 best_node = -1, best_gain = -1;
+    for (i32 t = 0; t < lanes; t++) {
+        if (best_gains[t] > best_gain) {
+            best_node = best_nodes[t];
+            best_gain = best_gains[t];
+        }
+    }
+    *damage_out = best_node < 0 ? -1 : state[m->b + m->n] + best_gain;
+    return best_node;
+}
+
+/* Threaded twins of the fused search helpers: the position/sweep control
+   flow is inherently sequential and stays byte-identical to the serial
+   versions; only the per-position node folds and argmax fan out. */
+
+i32 gk_try_swap_mt(const gk_model *m, gk_pool *pool, i32 u,
+                   const i32 *banned, i32 current, i32 *state,
+                   i32 *damage_out)
+{
+    gk_remove_node_mt(m, pool, u, state);
+    i32 damage = 0;
+    const i32 v = gk_best_addition_mt(m, pool, state, banned, &damage);
+    if (v >= 0 && damage > current) {
+        gk_add_node_mt(m, pool, v, state);
+        *damage_out = damage;
+        return v;
+    }
+    gk_add_node_mt(m, pool, u, state);
+    *damage_out = current;
+    return -1;
+}
+
+i32 gk_polish_pass_mt(const gk_model *m, gk_pool *pool, i32 *state,
+                      i32 *nodes, i32 k, i32 *banned, i32 current,
+                      i32 *current_out)
+{
+    i32 improved = 0;
+    for (i32 p = 0; p < k; p++) {
+        const i32 u = nodes[p];
+        banned[u] = 0;
+        gk_remove_node_mt(m, pool, u, state);
+        i32 damage = 0;
+        const i32 v = gk_best_addition_mt(m, pool, state, banned, &damage);
+        if (v >= 0 && damage > current) {
+            gk_add_node_mt(m, pool, v, state);
+            nodes[p] = v;
+            banned[v] = 1;
+            current = damage;
+            improved = 1;
+        } else {
+            gk_add_node_mt(m, pool, u, state);
+            banned[u] = 1;
+        }
+    }
+    *current_out = current;
+    return improved;
+}
 """
 
 _CC_CANDIDATES = ("cc", "gcc", "clang")
+_OPT_LEVELS = ("-O3", "-O2")
 
 _lib: Optional[ctypes.CDLL] = None
 _load_attempted = False
 _load_error: Optional[str] = None
+_compile_info: Optional[Dict[str, Any]] = None
 
 _I32P = ctypes.POINTER(ctypes.c_int32)
 
@@ -270,18 +745,49 @@ def _assert_private(directory: str) -> None:
         )
 
 
+def _compiler_candidates() -> tuple:
+    """The compiler ladder: an env override pins one, else cc/gcc/clang."""
+    override = os.environ.get("REPRO_CC") or os.environ.get("CC")
+    if override:
+        return (override,)
+    return _CC_CANDIDATES
+
+
+def _record_compile_info(info_path: str, info: Dict[str, Any]) -> None:
+    global _compile_info
+    _compile_info = dict(info)
+    try:
+        scratch = f"{info_path}.tmp.{os.getpid()}"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(info, handle, indent=2, sort_keys=True)
+        os.replace(scratch, info_path)
+    except OSError:
+        pass  # introspection metadata only; the .so is what matters
+
+
 def _compile() -> str:
     """Compile the embedded source, returning the shared-object path.
 
-    The output is cached by source hash; concurrent processes race safely
-    because each compiles to a unique temp name and ``os.replace`` is
-    atomic.
+    The compiler is ``REPRO_CC`` (or ``CC``) when set, else the first
+    working of cc/gcc/clang; each candidate tries ``-O3`` first and falls
+    back to ``-O2``. The output is cached by source hash; concurrent
+    processes race safely because each compiles to a unique temp name and
+    ``os.replace`` is atomic. The winning recipe is persisted beside the
+    ``.so`` and surfaced via :func:`compile_info`.
     """
+    global _compile_info
     digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
     directory = _cache_dir()
     target = os.path.join(directory, f"gain_kernel_{digest}.so")
+    info_path = os.path.join(directory, f"gain_kernel_{digest}.json")
     if os.path.exists(target):
         _assert_private(directory)
+        if _compile_info is None:
+            try:
+                with open(info_path, "r", encoding="utf-8") as handle:
+                    _compile_info = dict(json.load(handle), cached=True)
+            except (OSError, ValueError):
+                _compile_info = {"cached": True, "source_digest": digest}
         return target
     os.makedirs(directory, mode=0o700, exist_ok=True)
     _assert_private(directory)
@@ -290,21 +796,31 @@ def _compile() -> str:
         handle.write(_SOURCE)
     scratch = f"{target}.tmp.{os.getpid()}"
     last_error = "no C compiler found"
-    for compiler in _CC_CANDIDATES:
-        try:
-            result = subprocess.run(
-                [compiler, "-O2", "-shared", "-fPIC", "-o", scratch,
-                 source_path],
-                capture_output=True,
-                timeout=120,
+    for compiler in _compiler_candidates():
+        for opt in _OPT_LEVELS:
+            flags = [opt, "-pthread", "-shared", "-fPIC"]
+            try:
+                result = subprocess.run(
+                    [compiler, *flags, "-o", scratch, source_path],
+                    capture_output=True,
+                    timeout=120,
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                last_error = f"{compiler}: {exc}"
+                break  # missing/hung compiler: no point retrying flags
+            if result.returncode == 0:
+                os.replace(scratch, target)
+                _record_compile_info(info_path, {
+                    "compiler": compiler,
+                    "flags": flags,
+                    "source_digest": digest,
+                    "cached": False,
+                })
+                return target
+            last_error = (
+                f"{compiler} {opt}: "
+                f"{result.stderr.decode(errors='replace')}"
             )
-        except (OSError, subprocess.TimeoutExpired) as exc:
-            last_error = f"{compiler}: {exc}"
-            continue
-        if result.returncode == 0:
-            os.replace(scratch, target)
-            return target
-        last_error = f"{compiler}: {result.stderr.decode(errors='replace')}"
     raise RuntimeError(f"could not compile native gain kernel: {last_error}")
 
 
@@ -330,6 +846,38 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
         model_p, _I32P, _I32P, ctypes.c_int32, ctypes.c_int32
     ]
     lib.gk_optimistic_bound.restype = ctypes.c_int32
+    # Worker pool + threaded twins. The pool handle is opaque (void*).
+    lib.gk_pool_create.argtypes = [ctypes.c_int32]
+    lib.gk_pool_create.restype = ctypes.c_void_p
+    lib.gk_pool_destroy.argtypes = [ctypes.c_void_p]
+    lib.gk_pool_destroy.restype = None
+    lib.gk_pool_threads.argtypes = [ctypes.c_void_p]
+    lib.gk_pool_threads.restype = ctypes.c_int32
+    lib.gk_bulk_build_mt.argtypes = [
+        model_p, ctypes.c_void_p, _I32P, ctypes.c_int32, ctypes.c_int32,
+        _I32P,
+    ]
+    lib.gk_bulk_build_mt.restype = None
+    lib.gk_add_node_mt.argtypes = [
+        model_p, ctypes.c_void_p, ctypes.c_int32, _I32P
+    ]
+    lib.gk_add_node_mt.restype = None
+    lib.gk_remove_node_mt.argtypes = lib.gk_add_node_mt.argtypes
+    lib.gk_remove_node_mt.restype = None
+    lib.gk_best_addition_mt.argtypes = [
+        model_p, ctypes.c_void_p, _I32P, _I32P, _I32P
+    ]
+    lib.gk_best_addition_mt.restype = ctypes.c_int32
+    lib.gk_try_swap_mt.argtypes = [
+        model_p, ctypes.c_void_p, ctypes.c_int32, _I32P, ctypes.c_int32,
+        _I32P, _I32P,
+    ]
+    lib.gk_try_swap_mt.restype = ctypes.c_int32
+    lib.gk_polish_pass_mt.argtypes = [
+        model_p, ctypes.c_void_p, _I32P, _I32P, ctypes.c_int32, _I32P,
+        ctypes.c_int32, _I32P,
+    ]
+    lib.gk_polish_pass_mt.restype = ctypes.c_int32
     return lib
 
 
@@ -365,3 +913,125 @@ def available() -> bool:
 def load_error() -> Optional[str]:
     """Why the last load failed (None if never attempted or it worked)."""
     return _load_error
+
+
+def compile_info() -> Optional[Dict[str, Any]]:
+    """How the loaded library was built: compiler, flags, cache status.
+
+    None until a load is attempted (or when the load failed before the
+    compile step). ``cached: True`` means a previously built ``.so`` was
+    reused; the recorded compiler/flags then describe the build that
+    produced it (read back from the JSON persisted beside the cache
+    entry, when present).
+    """
+    return None if _compile_info is None else dict(_compile_info)
+
+
+# --------------------------- worker pool ---------------------------
+#
+# One process-wide pool, created lazily on first threaded call and sized
+# by configure_threads() / REPRO_NATIVE_THREADS / os.cpu_count(), in that
+# order. pthreads do not survive fork(), so a forked child inherits a
+# handle whose worker threads are gone — joining them would hang. The
+# at-fork hook therefore *drops* the handle without destroying it (the
+# leaked C memory is the price of fork safety) and bumps the pool epoch
+# so kernel objects know to refetch.
+
+_pool_handle: Optional[int] = None
+_pool_threads = 0
+_pool_epoch = 0
+_configured_threads: Optional[int] = None
+
+
+def thread_count() -> int:
+    """The thread budget: configure_threads > REPRO_NATIVE_THREADS > cores."""
+    if _configured_threads is not None:
+        return _configured_threads
+    env = os.environ.get("REPRO_NATIVE_THREADS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_NATIVE_THREADS must be an integer >= 1, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def configure_threads(count: Optional[int]) -> None:
+    """Pin the kernel thread budget (None restores the env/cpu default).
+
+    An existing pool of a different width is dropped; the next threaded
+    call lazily builds one at the new width. Used by the sharded runners
+    to split the budget across worker processes.
+    """
+    global _configured_threads
+    _configured_threads = None if count is None else max(1, int(count))
+    if _pool_handle is not None and _pool_threads != thread_count():
+        _drop_pool(destroy=True)
+
+
+def configured_threads() -> Optional[int]:
+    """The explicit configure_threads() pin, if any (None = env default)."""
+    return _configured_threads
+
+
+def current_pool() -> Optional[int]:
+    """The process-wide pool handle, creating it on first use.
+
+    Returns None when the budget is one thread (serial paths need no
+    pool) or when the library is unavailable.
+    """
+    global _pool_handle, _pool_threads, _pool_epoch
+    want = thread_count()
+    if _pool_handle is not None:
+        if _pool_threads == want:
+            return _pool_handle
+        _drop_pool(destroy=True)
+    if want <= 1:
+        return None
+    try:
+        lib = load()
+    except RuntimeError:
+        return None
+    handle = lib.gk_pool_create(want)
+    if not handle:
+        return None
+    _pool_handle = handle
+    _pool_threads = lib.gk_pool_threads(handle)
+    _pool_epoch += 1
+    return _pool_handle
+
+
+def pool_epoch() -> int:
+    """Bumped whenever the pool handle changes (resize, fork, drop)."""
+    return _pool_epoch
+
+
+def pool_threads() -> int:
+    """Lanes the live pool actually has (1 when no pool exists)."""
+    return _pool_threads if _pool_handle is not None else 1
+
+
+def worker_thread_budget(workers: int) -> int:
+    """Per-process thread budget when fanning out across `workers`."""
+    return max(1, thread_count() // max(1, workers))
+
+
+def _drop_pool(destroy: bool) -> None:
+    """Forget the pool; join+free its threads only when they are ours.
+
+    ``destroy=False`` is the forked-child path: the workers died with the
+    parent's address-space copy, so joining would hang — leak the handle.
+    """
+    global _pool_handle, _pool_threads, _pool_epoch
+    handle = _pool_handle
+    _pool_handle = None
+    _pool_threads = 0
+    _pool_epoch += 1
+    if handle is not None and destroy and _lib is not None:
+        _lib.gk_pool_destroy(handle)
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX targets
+    os.register_at_fork(after_in_child=lambda: _drop_pool(destroy=False))

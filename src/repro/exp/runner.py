@@ -172,6 +172,7 @@ def run_experiment(
     store: Optional[Union[RunStore, str]] = None,
     resume: bool = False,
     limit: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> RunResult:
     """Run one spec: expand, serve the stored prefix, compute the rest.
 
@@ -182,7 +183,16 @@ def run_experiment(
     the run stops at the first shard boundary at or past the cap, leaving
     a clean resumable prefix (used by budgeted sweeps, the CI smoke job,
     and the resume benchmarks).
+
+    ``threads`` pins the native kernel's thread budget for this run
+    (default: ``REPRO_NATIVE_THREADS`` / cpu count). Sharded runs divide
+    the budget across worker processes, so ``workers x threads`` never
+    oversubscribes the host; results are bit-identical at every
+    (workers, threads) combination — the kernel's threaded paths merge
+    deterministically.
     """
+    from repro.core import native
+
     started = time.perf_counter()
     kernel = registry.kernel(spec.experiment)
     if workers is None:
@@ -191,6 +201,8 @@ def run_experiment(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if limit is not None and limit < 0:
         raise ValueError(f"limit must be >= 0, got {limit}")
+    if threads is not None and threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
 
     cells = [dict(cell) for cell in kernel.expand(spec)]
     groups = _contiguous_groups(spec, kernel, cells)
@@ -234,7 +246,22 @@ def run_experiment(
                 state.flush()
 
         if workers > 1 and len(pending) > 1:
-            _run_sharded(spec, kernel, cells, pending, workers, flush)
+            _run_sharded(
+                spec, kernel, cells, pending, workers, flush, threads
+            )
+        elif threads is not None:
+            # Serial run with a pinned kernel budget: configure, compute,
+            # restore the caller's setting.
+            previous = native.configured_threads()
+            native.configure_threads(threads)
+            try:
+                for group in pending:
+                    flush(
+                        group,
+                        kernel.run_group(spec, cells[group.start:group.end]),
+                    )
+            finally:
+                native.configure_threads(previous)
         else:
             for group in pending:
                 flush(group, kernel.run_group(spec, cells[group.start:group.end]))
@@ -261,9 +288,19 @@ def run_experiment(
     )
 
 
-def _run_sharded(spec, kernel, cells, pending, workers, flush) -> None:
-    """Fan pending shards over a process pool; commit in expansion order."""
+def _run_sharded(
+    spec, kernel, cells, pending, workers, flush, threads=None
+) -> None:
+    """Fan pending shards over a process pool; commit in expansion order.
+
+    Each worker gets an equal slice of the kernel thread budget
+    (``threads`` or the ambient ``REPRO_NATIVE_THREADS``/cpu default), so
+    shard fan-out and in-kernel threading compose instead of
+    oversubscribing.
+    """
     import multiprocessing
+
+    from repro.core import native
 
     spec_json = json.dumps(spec.to_dict())
     order = sorted(
@@ -277,7 +314,13 @@ def _run_sharded(spec, kernel, cells, pending, workers, flush) -> None:
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
     finished: Dict[int, Any] = {}
     next_flush = 0
-    with context.Pool(processes=min(workers, len(pending))) as pool:
+    processes = min(workers, len(pending))
+    budget = threads if threads is not None else native.thread_count()
+    with context.Pool(
+        processes=processes,
+        initializer=native.configure_threads,
+        initargs=(max(1, budget // processes),),
+    ) as pool:
         for ordinal, chunk in pool.imap_unordered(_run_group_task, payloads):
             finished[ordinal] = chunk
             while next_flush in finished:

@@ -200,3 +200,118 @@ class TestTrustBoundary:
         assert calls == []  # trusted path: no O(b r) re-validation
         load_npz(path, validate=True)
         assert len(calls) == 1
+
+
+class TestMmapLoading:
+    def _saved(self, placement, tmp_path):
+        path = str(tmp_path / "p.npz")
+        save_npz(placement, path)
+        return path
+
+    def test_mmap_matches_eager(self, placement, tmp_path):
+        path = self._saved(placement, tmp_path)
+        eager = load_npz(path)
+        mapped = load_npz(path, mmap=True)
+        assert mapped == placement
+        assert mapped.fingerprint() == eager.fingerprint()
+        assert mapped.strategy == eager.strategy
+        assert (mapped.n, mapped.b, mapped.r) == (eager.n, eager.b, eager.r)
+        # The rows really are a view over the file, not a heap copy.
+        assert isinstance(mapped.replica_array(), memoryview)
+
+    def test_mmap_csr_and_kernel_match(self, placement, tmp_path):
+        from repro.core.kernels import make_kernel
+
+        path = self._saved(placement, tmp_path)
+        eager = load_npz(path)
+        mapped = load_npz(path, mmap=True)
+        eager_off, eager_objs = eager.node_csr()
+        mapped_off, mapped_objs = mapped.node_csr()
+        assert bytes(mapped_off) == bytes(eager_off)
+        assert bytes(mapped_objs) == bytes(eager_objs)
+        eager_kernel = make_kernel(eager, 2)
+        mapped_kernel = make_kernel(mapped, 2)
+        for nodes in ([0], [1, 4], [2, 3, 5]):
+            assert mapped_kernel.damage_for(nodes) == eager_kernel.damage_for(
+                nodes
+            )
+
+    def test_boundary_loader_mmap_roundtrip(self, placement, tmp_path):
+        path = self._saved(placement, tmp_path)
+        assert load_placement(path, mmap=True) == placement
+
+    def test_mmap_still_rejects_tampered_rows(self, placement, tmp_path):
+        path = self._saved(placement, tmp_path)
+        with zipfile.ZipFile(path) as original:
+            header = original.read("header.json")
+            blob = original.read("rows.npy")
+        evil = blob[:-4] + b"\x01\x00\x00\x00"
+        bad = str(tmp_path / "bad.npz")
+        with zipfile.ZipFile(bad, "w") as replacement:
+            replacement.writestr("header.json", header)
+            replacement.writestr("rows.npy", evil)
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_npz(bad, mmap=True)
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_placement(bad, mmap=True)
+
+    def test_mmap_validates_structure_in_place(self, placement, tmp_path):
+        # Checksum-consistent but structurally invalid rows must still be
+        # rejected on the boundary path without copying the view.
+        import hashlib
+        import struct
+        from array import array as _array
+
+        data = _array("i", [0, 1, 9, 0]).tobytes()
+        npy_header = (
+            "{'descr': '<i4', 'fortran_order': False, 'shape': (2, 2), }"
+        ).encode()
+        pad = -(6 + 2 + 2 + len(npy_header) + 1) % 64
+        blob = (
+            b"\x93NUMPY" + bytes((1, 0))
+            + struct.pack("<H", len(npy_header) + pad + 1)
+            + npy_header + b" " * pad + b"\n" + data
+        )
+        header = {
+            "format": artifact.PLACEMENT_FORMAT,
+            "version": artifact.PLACEMENT_VERSION,
+            "n": 4, "b": 2, "r": 2, "strategy": "evil",
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+        path = str(tmp_path / "evil.npz")
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("header.json", json.dumps(header))
+            archive.writestr("rows.npy", blob)
+        with pytest.raises(ArtifactError, match="sorted distinct"):
+            load_npz(path, validate=True, mmap=True)
+
+    def test_compressed_archive_falls_back_to_eager(
+        self, placement, tmp_path
+    ):
+        path = self._saved(placement, tmp_path)
+        with zipfile.ZipFile(path) as original:
+            header = original.read("header.json")
+            blob = original.read("rows.npy")
+        packed = str(tmp_path / "packed.npz")
+        with zipfile.ZipFile(
+            packed, "w", zipfile.ZIP_DEFLATED
+        ) as replacement:
+            replacement.writestr("header.json", header)
+            replacement.writestr("rows.npy", blob)
+        loaded = load_npz(packed, mmap=True)
+        assert loaded == placement
+        # Eager fallback: a plain heap buffer, not a view.
+        assert not isinstance(loaded.replica_array(), memoryview)
+
+    def test_mmap_refusal_falls_back_to_eager(
+        self, placement, tmp_path, monkeypatch
+    ):
+        path = self._saved(placement, tmp_path)
+
+        def refuse(*args, **kwargs):
+            raise OSError("filesystem refuses mmap")
+
+        monkeypatch.setattr(artifact._mmaplib, "mmap", refuse)
+        loaded = load_npz(path, mmap=True)
+        assert loaded == placement
+        assert not isinstance(loaded.replica_array(), memoryview)
