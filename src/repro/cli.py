@@ -90,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
                      "across --workers processes (default: "
                      "$REPRO_NATIVE_THREADS/cpu count; results are "
                      "identical for every value)")
+    run.add_argument("--chaos", type=str, default=None, metavar="PLAN",
+                     help="fault-injection plan: a plan JSON file, inline "
+                     "JSON, or prob:<p>[:<seed>] shorthand (exported as "
+                     "$REPRO_CHAOS so worker processes inherit it)")
+    run.add_argument("--shard-timeout", type=float, default=None,
+                     help="per-shard wall-clock watchdog in seconds; a "
+                     "shard past its deadline is killed and retried "
+                     "(default: $REPRO_SHARD_TIMEOUT/off)")
+    run.add_argument("--shard-retries", type=int, default=None,
+                     help="re-dispatch attempts per failed shard before "
+                     "the run errors (default: $REPRO_SHARD_RETRIES/2)")
 
     place = commands.add_parser("place", help="compute and emit a placement")
     place.add_argument("--strategy", choices=("combo", "simple", "random"),
@@ -184,6 +195,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the final population snapshot as a "
                           "placement artifact (JSON or .npz, by extension)")
 
+    soak = commands.add_parser(
+        "chaos-soak",
+        help="run a figure grid under injected faults; verify the final "
+        "store is byte-identical to a fault-free run",
+    )
+    soak.add_argument("target", nargs="?", default="fig2",
+                      help="registered figure name or a spec.json path "
+                      "(default: fig2)")
+    soak.add_argument("--faults", type=int, default=20,
+                      help="injected-fault budget, split across worker "
+                      "crashes, torn store writes, transient kernel "
+                      "errors, and (with --shard-timeout) hangs")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="fault-schedule seed (same seed, same faults)")
+    soak.add_argument("--workers", type=int, default=2,
+                      help="worker processes per soak iteration")
+    soak.add_argument("--root", type=str, default="chaos-soak",
+                      help="scratch directory for the spec, plan, chaos "
+                      "store, and fault-free reference store")
+    soak.add_argument("--shard-timeout", type=float, default=None,
+                      help="arm the shard watchdog and include hang "
+                      "faults (seconds)")
+    soak.add_argument("--shard-retries", type=int, default=3,
+                      help="re-dispatch attempts per failed shard")
+
     bounds = commands.add_parser(
         "bounds", help="Combo guarantee vs Random prediction for one cell"
     )
@@ -219,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "figure": _run_figure,
         "run": _run_exp,
+        "chaos-soak": _run_chaos_soak,
         "place": _run_place,
         "attack": _run_attack,
         "simulate": _run_simulate,
@@ -302,11 +339,29 @@ def _run_figure(args) -> int:
     return 0
 
 
-def _run_exp(args) -> int:
+def _load_run_target(target: str, command: str):
+    """Resolve a figure name or spec.json path; exits are (None, code)."""
     from repro.exp.registry import figure_spec, spec_from_payload
-    from repro.exp.runner import run_experiment
     from repro.exp.spec import SpecError
+
+    try:
+        if target.endswith(".json") or os.path.sep in target:
+            with open(target, encoding="utf-8") as handle:
+                return spec_from_payload(json.load(handle)), 0
+        return figure_spec(target), 0
+    except OSError as exc:
+        print(f"{command}: cannot read spec file: {exc}", file=sys.stderr)
+        return None, 2
+    except (SpecError, ValueError) as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _run_exp(args) -> int:
+    from repro.exp.runner import run_experiment
     from repro.exp.store import RunStoreError
+    from repro.faults import FaultPlanError
+    from repro.faults.plan import FaultPlan
 
     if args.list:
         _print_figure_catalog()
@@ -315,18 +370,18 @@ def _run_exp(args) -> int:
         print("run: target required (figure name or spec.json; --list "
               "shows the catalog)", file=sys.stderr)
         return 2
-    try:
-        if args.target.endswith(".json") or os.path.sep in args.target:
-            with open(args.target, encoding="utf-8") as handle:
-                spec = spec_from_payload(json.load(handle))
-        else:
-            spec = figure_spec(args.target)
-    except OSError as exc:
-        print(f"run: cannot read spec file: {exc}", file=sys.stderr)
-        return 2
-    except (SpecError, ValueError) as exc:
-        print(f"run: {exc}", file=sys.stderr)
-        return 2
+    if args.chaos is not None:
+        try:
+            FaultPlan.from_env(args.chaos)  # fail fast on a bad plan
+        except FaultPlanError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
+        # Exported (not just configured in-process) so forked shard
+        # workers inherit the plan.
+        os.environ["REPRO_CHAOS"] = args.chaos
+    spec, code = _load_run_target(args.target, "run")
+    if spec is None:
+        return code
     store = None
     if not args.no_store:
         store = args.store or os.environ.get("REPRO_RUNS_DIR") or "runs"
@@ -338,6 +393,8 @@ def _run_exp(args) -> int:
             resume=args.resume,
             limit=args.limit,
             threads=args.threads,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries,
         )
     except RunStoreError as exc:
         print(f"run: {exc}", file=sys.stderr)
@@ -365,6 +422,43 @@ def _run_exp(args) -> int:
     print(run.summary(), file=sys.stderr)
     if run.store_path is not None:
         print(f"run store: {run.store_path}", file=sys.stderr)
+    return 0
+
+
+def _run_chaos_soak(args) -> int:
+    from repro.faults.soak import SoakError, soak
+
+    spec, code = _load_run_target(args.target, "chaos-soak")
+    if spec is None:
+        return code
+    try:
+        report = soak(
+            spec,
+            args.root,
+            faults=args.faults,
+            seed=args.seed,
+            workers=args.workers,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries,
+        )
+    except SoakError as exc:
+        print(f"chaos-soak: {exc}", file=sys.stderr)
+        return 1
+    planned = report["planned_faults"]
+    print(
+        f"chaos-soak: {spec.experiment} survived {planned['total']} planned "
+        f"faults ({planned['crashes']} crashes, {planned['torn_writes']} "
+        f"torn writes, {planned['dispatch_errors']} transient errors, "
+        f"{planned['hangs']} hangs)"
+    )
+    print(
+        f"  {report['runs']} runs ({report['restarts']} restarts), "
+        f"{report['shard_retries']} shard retries, "
+        f"{report['cells']} cells, {report['recomputed']} recomputed "
+        f"on resume, {report['elapsed']:.1f}s"
+    )
+    print("  final store byte-identical to the fault-free reference")
+    print(f"  plan {report['plan_hash'][:16]} under {args.root}/")
     return 0
 
 

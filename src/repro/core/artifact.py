@@ -35,11 +35,17 @@ import json
 import mmap as _mmaplib
 import struct
 import sys
+import warnings
 import zipfile
 from array import array
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.core.placement import Placement, PlacementError
+
+# Reasons already warned about for mmap -> eager fallback (one warning
+# per distinct reason per process, so a sweep over many artifacts does
+# not spam while the degradation still gets surfaced once).
+_MMAP_FALLBACK_WARNED: Set[str] = set()
 
 try:  # optional accelerator for mmap-view validation
     import numpy as _np
@@ -243,10 +249,21 @@ def load_npz(path: str, validate: bool = False, mmap: bool = False) -> Placement
             return _load_npz_mmap(path, validate=validate)
         except ArtifactError:
             raise  # bad artifacts stay rejected; only mmap refusal falls back
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
             # mmap refused (filesystem, platform, zero-length quirk):
-            # the eager path reads the same checked bytes.
-            pass
+            # the eager path reads the same checked bytes. Degrading
+            # silently would hide a real capability loss (lazy page-in at
+            # large b), so name the reason once per process.
+            reason = f"{type(exc).__name__}: {exc}"
+            if reason not in _MMAP_FALLBACK_WARNED:
+                _MMAP_FALLBACK_WARNED.add(reason)
+                warnings.warn(
+                    f"{path}: mmap load failed ({reason}); falling back to "
+                    "the eager loader — results are identical but rows are "
+                    "read up front instead of paged in lazily",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     try:
         with zipfile.ZipFile(path) as archive:
             names = set(archive.namelist())

@@ -53,7 +53,7 @@ import os
 from array import array
 from contextlib import contextmanager
 from itertools import chain as _chain
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import native as _native
 from repro.core.placement import Placement
@@ -69,11 +69,45 @@ BACKENDS: Tuple[str, ...] = ("gain", "bitset", "numpy", "python")
 #: What ``auto`` resolves to; the gain kernel needs only the stdlib.
 DEFAULT_BACKEND = "gain"
 
-#: Recognized gain-engine backings, fastest-first.
+#: Recognized gain-engine backings, fastest-first: the degradation
+#: ladder. ``auto`` walks it top-down; a watchdog-detected fault demotes
+#: the failing rung for the rest of the process (see demote_backing).
 GAIN_BACKINGS: Tuple[str, ...] = ("native", "numpy", "bitset", "python")
 
 # Stack of backends pinned by force_backend(); top of stack wins.
 _FORCED: List[str] = []
+
+# Backings demoted after a fault (backing -> reason). Process-wide: once
+# a rung is demoted, ``auto`` never climbs back to it; forked workers
+# inherit the parent's demotions at fork time.
+_DEMOTED: Dict[str, str] = {}
+
+
+def demote_backing(backing: str, reason: str) -> None:
+    """Take one gain-backing rung out of the ``auto`` ladder.
+
+    Called by the shard supervisor after a watchdog-detected fault and by
+    the dispatch ladder when a backing fails to construct. The last rung
+    (pure python) is never demotable — it is the floor the ladder
+    degrades *to*. The first reason wins; re-demoting is a no-op.
+    """
+    if backing not in GAIN_BACKINGS:
+        raise ValueError(
+            f"unknown gain backing {backing!r}; use one of {GAIN_BACKINGS}"
+        )
+    if backing == GAIN_BACKINGS[-1]:
+        raise ValueError("the python gain backing is the floor; cannot demote it")
+    _DEMOTED.setdefault(backing, str(reason))
+
+
+def demoted_backings() -> Dict[str, str]:
+    """The demoted rungs and why (empty in a fault-free process)."""
+    return dict(_DEMOTED)
+
+
+def restore_backings() -> None:
+    """Clear all demotions (tests / explicit operator reset)."""
+    _DEMOTED.clear()
 
 
 def numpy_available() -> bool:
@@ -133,20 +167,31 @@ def resolve_backend(requested: Optional[str] = None) -> str:
 def resolve_gain_backing(requested: Optional[str] = None) -> str:
     """The concrete gain-engine backing: argument > ``REPRO_GAIN_BACKING``.
 
-    ``auto`` walks the ladder native -> numpy -> bitset; an *explicit*
-    request for an unavailable backing raises instead of degrading, so a
-    pinned configuration never silently measures the wrong thing.
+    ``auto`` walks the degradation ladder native -> numpy -> bitset ->
+    python, skipping unavailable and fault-demoted rungs; an *explicit*
+    request for an unavailable (or demoted) backing raises instead of
+    degrading, so a pinned configuration never silently measures the
+    wrong thing.
     """
     choice = requested or os.environ.get("REPRO_GAIN_BACKING", "auto") or "auto"
     if choice == "auto":
-        if _native.available():
-            return "native"
-        if _np is not None:
-            return "numpy"
-        return "bitset"
+        for backing in GAIN_BACKINGS:
+            if backing in _DEMOTED:
+                continue
+            if backing == "native" and not _native.available():
+                continue
+            if backing == "numpy" and _np is None:
+                continue
+            return backing
+        return GAIN_BACKINGS[-1]  # python: demote-proof floor
     if choice not in GAIN_BACKINGS:
         raise ValueError(
             f"unknown gain backing {choice!r}; use auto or one of {GAIN_BACKINGS}"
+        )
+    if choice in _DEMOTED:
+        raise ValueError(
+            f"gain backing {choice!r} was demoted after a fault: "
+            f"{_DEMOTED[choice]}"
         )
     if choice == "native" and not _native.available():
         raise ValueError(
@@ -1478,10 +1523,58 @@ def make_kernel(
     elif incidence.placement is not placement:
         raise ValueError("incidence was built for a different placement")
     if chosen == "gain":
-        backing = resolve_gain_backing(gain_backing)
-        return _GAIN_KERNELS[backing](incidence, s)
+        return _dispatch_gain_kernel(incidence, s, gain_backing)
     if chosen == "bitset":
         return BitsetKernel(incidence, s)
     if chosen == "numpy":
         return NumpyKernel(incidence, s)
     return PythonKernel(incidence, s)
+
+
+def _dispatch_gain_kernel(
+    incidence: Incidence, s: int, gain_backing: Optional[str]
+) -> DamageKernel:
+    """Build a gain kernel, riding the degradation ladder on faults.
+
+    This is the ``kernels.dispatch`` injection point. Per attempt: resolve
+    the backing (honoring demotions made meanwhile), evaluate the chaos
+    plan, construct. An injected ``backend`` fault — or a *real*
+    infrastructure failure under ``auto`` — demotes the rung and
+    re-resolves, so the ladder degrades native -> numpy -> bitset ->
+    python instead of failing the run; transient ``error`` faults just
+    retry. ``ValueError``/``TypeError`` are bad arguments, not a broken
+    backing — every rung rejects them identically, so they propagate
+    without demoting. Explicit (non-auto) requests propagate all real
+    failures unchanged: pins never silently degrade. All backings are
+    bit-identical by contract, so a demotion changes speed, never
+    results.
+    """
+    from repro import faults
+
+    choice = (
+        gain_backing or os.environ.get("REPRO_GAIN_BACKING", "auto") or "auto"
+    )
+    last: Optional[BaseException] = None
+    for attempt in range(4):
+        backing = resolve_gain_backing(gain_backing)
+        try:
+            faults.inject("kernels.dispatch", backing=backing, s=s, attempt=attempt)
+            return _GAIN_KERNELS[backing](incidence, s)
+        except faults.InjectedFault as fault:
+            last = fault
+            if (
+                fault.kind == "backend"
+                and choice == "auto"
+                and backing != GAIN_BACKINGS[-1]
+            ):
+                demote_backing(backing, f"injected backend fault ({fault})")
+        except (ValueError, TypeError):
+            raise
+        except Exception as exc:
+            if choice != "auto" or backing == GAIN_BACKINGS[-1]:
+                raise
+            demote_backing(backing, f"{type(exc).__name__}: {exc}")
+            last = exc
+    raise RuntimeError(
+        f"gain kernel dispatch failed after 4 attempts: {last}"
+    ) from last

@@ -890,6 +890,13 @@ def load() -> ctypes.CDLL:
         raise RuntimeError(_load_error)
     _load_attempted = True
     try:
+        # The ``native.compile`` injection point: an injected fault here
+        # makes the backing "unavailable" for the rest of the process,
+        # which is exactly what a broken toolchain looks like — the gain
+        # ladder must degrade to numpy/bitset, never abort the run.
+        from repro.faults import injector as _chaos
+
+        _chaos.inject("native.compile")
         if array("i").itemsize != 4:  # pragma: no cover - exotic platforms
             raise RuntimeError("array('i') is not 32-bit on this platform")
         if sys.platform == "win32":  # pragma: no cover - not a target

@@ -32,18 +32,89 @@ Execution model:
 from __future__ import annotations
 
 import json
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.core.batch import worker_count
 from repro.exp import registry
 from repro.exp.spec import ExperimentSpec
 from repro.exp.store import RunState, RunStore
+from repro.util.rng import derive_rng
 
 
 class ExperimentError(ValueError):
     """Raised on kernel-contract violations (non-contiguous groups, ...)."""
+
+
+#: Decorrelated-jitter backoff bounds for shard retries (seconds). The
+#: schedule is seeded from (spec hash, shard start, attempt), so retry
+#: timing is reproducible run to run.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
+
+#: How long a worker that went dead-silent (no result, not alive) gets to
+#: drain an already-posted result before being declared crashed.
+_REAP_GRACE = 0.5
+
+
+def _env_shard_retries() -> int:
+    raw = os.environ.get("REPRO_SHARD_RETRIES")
+    if raw is None or raw == "":
+        return 2
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SHARD_RETRIES must be an int, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"REPRO_SHARD_RETRIES must be >= 0, got {value}")
+    return value
+
+
+def _env_shard_timeout() -> Optional[float]:
+    raw = os.environ.get("REPRO_SHARD_TIMEOUT")
+    if raw is None or raw == "":
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHARD_TIMEOUT must be a float (seconds), got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SHARD_TIMEOUT must be > 0, got {value}")
+    return value
+
+
+def _backoff_delay(spec_hash: str, start: int, attempt: int, previous: float) -> float:
+    """One decorrelated-jitter step: min(cap, U(base, 3 * previous))."""
+    rng = derive_rng(0, "shard-backoff", spec_hash, start, attempt)
+    return min(_BACKOFF_CAP, rng.uniform(_BACKOFF_BASE, max(_BACKOFF_BASE, previous) * 3))
+
+
+def _demote_after_watchdog(reason: str) -> Optional[Dict[str, str]]:
+    """Degradation ladder: step the auto gain backing down one rung.
+
+    Only an *auto* selection is demoted — an explicitly pinned backing
+    never silently measures the wrong thing. Workers fork from the
+    supervisor after the demotion, so re-dispatched shards inherit it;
+    backings are bit-identical by contract, so results are unchanged.
+    """
+    from repro.core import kernels
+
+    pinned = os.environ.get("REPRO_GAIN_BACKING", "auto") or "auto"
+    if pinned != "auto":
+        return None
+    try:
+        backing = kernels.resolve_gain_backing("auto")
+    except ValueError:
+        return None
+    if backing == kernels.GAIN_BACKINGS[-1]:
+        return None  # already on the last rung
+    kernels.demote_backing(backing, reason)
+    return {"backing": backing, "reason": reason}
 
 
 @dataclass(frozen=True)
@@ -81,6 +152,8 @@ class RunResult:
     groups: int = 0
     elapsed: float = 0.0
     store_path: Optional[str] = None
+    retries: int = 0
+    demotions: List[Dict[str, str]] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -104,13 +177,28 @@ class RunResult:
 
     def summary(self) -> str:
         state = "complete" if self.complete else "partial"
-        return (
+        text = (
             f"{self.spec.experiment} [{self.spec.spec_hash()[:12]}] "
             f"{state}: {len(self.cells)} cells "
             f"({self.loaded} loaded, {self.computed} computed, "
             f"{self.recomputed} recomputed) across {self.groups} shards "
             f"in {self.elapsed:.2f}s"
         )
+        if self.retries:
+            text += f" [{self.retries} shard retries]"
+        if self.demotions:
+            demoted = ",".join(entry["backing"] for entry in self.demotions)
+            text += f" [demoted: {demoted}]"
+        return text
+
+    def faults_record(self) -> Dict[str, Any]:
+        """Manifest-ready fault metadata; empty dict for a fault-free run."""
+        record: Dict[str, Any] = {}
+        if self.retries:
+            record["shard_retries"] = self.retries
+        if self.demotions:
+            record["demotions"] = [dict(entry) for entry in self.demotions]
+        return record
 
 
 def _normalize(metrics: Any) -> Dict[str, Any]:
@@ -159,11 +247,76 @@ def _group_cost(
 
 
 def _run_group_task(payload: Tuple[str, int, List[Dict[str, Any]]]):
-    """Top-level worker entry point (picklable): compute one shard."""
+    """Plain (unsupervised) worker entry: compute one shard.
+
+    Kept as the benchmark baseline for the supervisor's overhead gate
+    (``benchmarks/bench_chaos.py``) — production runs go through
+    :func:`_shard_worker` under the supervisor.
+    """
     spec_json, ordinal, cells = payload
     spec = ExperimentSpec.from_dict(json.loads(spec_json))
     kernel = registry.kernel(spec.experiment)
     return ordinal, kernel.run_group(spec, cells)
+
+
+def _shard_worker(
+    spec_json: str,
+    ordinal: int,
+    start: int,
+    attempt: int,
+    cells: List[Dict[str, Any]],
+    thread_budget: int,
+    queue: Any,
+) -> None:
+    """Supervised worker entry: compute one shard, post one message.
+
+    Every outcome becomes a ``(ordinal, attempt, status, payload)``
+    message; a worker that dies without posting (crash, SIGKILL, hang
+    killed by the watchdog) is detected by the supervisor's liveness
+    sweep instead.
+
+    After the message is safely on the wire the worker leaves via
+    ``os._exit`` instead of a normal interpreter exit: a fresh process
+    is forked per shard attempt, so skipping teardown (GC of the
+    inherited heap, atexit handlers) trims the per-shard fixed cost the
+    supervisor pays over a reusing worker pool.
+    """
+    from repro.core import native
+
+    try:
+        native.configure_threads(thread_budget)
+        spec = ExperimentSpec.from_dict(json.loads(spec_json))
+        kernel = registry.kernel(spec.experiment)
+        faults.inject(
+            "runner.shard_start", start=start, ordinal=ordinal,
+            attempt=attempt, mode="shard",
+        )
+    except BaseException as exc:  # noqa: BLE001 - reported, then retried
+        _post_and_exit(queue, (ordinal, attempt, "error",
+                               f"{type(exc).__name__}: {exc}"))
+    try:
+        chunk = list(kernel.run_group(spec, cells))
+    except BaseException as exc:  # noqa: BLE001 - reported, then retried
+        _post_and_exit(queue, (ordinal, attempt, "error",
+                               f"{type(exc).__name__}: {exc}"))
+    _post_and_exit(queue, (ordinal, attempt, "ok", chunk))
+
+
+def _post_and_exit(queue: Any, message: Any) -> None:
+    """Post one message, drain the queue's feeder thread, exit hard.
+
+    ``queue.put`` only hands the pickle to a feeder thread;
+    ``close`` + ``join_thread`` block until the bytes are in the pipe,
+    which makes the ``os._exit`` safe — the supervisor either sees the
+    whole message or (exit code 70) a dead worker to re-dispatch.
+    """
+    try:
+        queue.put(message)
+        queue.close()
+        queue.join_thread()
+    except BaseException:  # noqa: BLE001 - dead pipe: let liveness sweep act
+        os._exit(70)
+    os._exit(0)
 
 
 def run_experiment(
@@ -173,6 +326,8 @@ def run_experiment(
     resume: bool = False,
     limit: Optional[int] = None,
     threads: Optional[int] = None,
+    shard_timeout: Optional[float] = None,
+    shard_retries: Optional[int] = None,
 ) -> RunResult:
     """Run one spec: expand, serve the stored prefix, compute the rest.
 
@@ -190,8 +345,17 @@ def run_experiment(
     oversubscribes the host; results are bit-identical at every
     (workers, threads) combination — the kernel's threaded paths merge
     deterministically.
+
+    Sharded runs are *supervised*: each shard runs in its own forked
+    worker with a wall-clock watchdog (``shard_timeout`` /
+    ``REPRO_SHARD_TIMEOUT``; off by default) and up to ``shard_retries``
+    re-dispatches (``REPRO_SHARD_RETRIES``, default 2) under seeded
+    decorrelated-jitter backoff. A re-dispatched shard replays its whole
+    incumbent chain from the spec, so retried results are bit-identical
+    to fault-free ones; repeated watchdog faults demote the auto gain
+    backing one ladder rung (recorded in the run metadata).
     """
-    from repro.core import native
+    from repro.core import kernels, native
 
     started = time.perf_counter()
     kernel = registry.kernel(spec.experiment)
@@ -203,6 +367,15 @@ def run_experiment(
         raise ValueError(f"limit must be >= 0, got {limit}")
     if threads is not None and threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    if shard_retries is None:
+        shard_retries = _env_shard_retries()
+    if shard_retries < 0:
+        raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
+    if shard_timeout is None:
+        shard_timeout = _env_shard_timeout()
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ValueError(f"shard_timeout must be > 0, got {shard_timeout}")
+    demoted_before = set(kernels.demoted_backings())
 
     cells = [dict(cell) for cell in kernel.expand(spec)]
     groups = _contiguous_groups(spec, kernel, cells)
@@ -242,12 +415,14 @@ def run_experiment(
                 metrics[group.start + offset] = _normalize(entry)
             if state is not None:
                 for index in range(max(group.start, prefix), group.end):
-                    state.append(cells[index], metrics[index])
+                    state.append(cells[index], metrics[index], index=index)
                 state.flush()
 
+        retries = 0
         if workers > 1 and len(pending) > 1:
-            _run_sharded(
-                spec, kernel, cells, pending, workers, flush, threads
+            retries = _run_sharded(
+                spec, kernel, cells, pending, workers, flush, threads,
+                shard_timeout, shard_retries,
             )
         elif threads is not None:
             # Serial run with a pinned kernel budget: configure, compute,
@@ -256,21 +431,36 @@ def run_experiment(
             native.configure_threads(threads)
             try:
                 for group in pending:
-                    flush(
-                        group,
-                        kernel.run_group(spec, cells[group.start:group.end]),
+                    chunk, attempts = _run_group_serial(
+                        spec, kernel, group, cells, shard_retries
                     )
+                    retries += attempts
+                    flush(group, chunk)
             finally:
                 native.configure_threads(previous)
         else:
             for group in pending:
-                flush(group, kernel.run_group(spec, cells[group.start:group.end]))
+                chunk, attempts = _run_group_serial(
+                    spec, kernel, group, cells, shard_retries
+                )
+                retries += attempts
+                flush(group, chunk)
         computed = sum(
             group.end - max(group.start, prefix) for group in pending
         ) + recomputed
+        demotions = [
+            {"backing": backing, "reason": reason}
+            for backing, reason in kernels.demoted_backings().items()
+            if backing not in demoted_before
+        ]
+        faults_record: Dict[str, Any] = {}
+        if retries:
+            faults_record["shard_retries"] = retries
+        if demotions:
+            faults_record["demotions"] = [dict(entry) for entry in demotions]
         complete = all(entry is not None for entry in metrics)
         if state is not None and complete and not state.complete:
-            state.finalize(len(cells))
+            state.finalize(len(cells), faults_record or None)
     finally:
         if state is not None:
             state.close()
@@ -285,13 +475,81 @@ def run_experiment(
         groups=len(groups),
         elapsed=time.perf_counter() - started,
         store_path=state.path if state is not None else None,
+        retries=retries,
+        demotions=demotions,
     )
 
 
+def _run_group_serial(
+    spec, kernel, group, cells, shard_retries
+) -> Tuple[Sequence[Any], int]:
+    """One shard in-process, retrying injected transient faults.
+
+    Only :class:`~repro.faults.InjectedFault` is retried — a genuine
+    kernel exception propagates unchanged, exactly as before the chaos
+    harness existed. Returns ``(chunk, retries_used)``.
+    """
+    spec_hash = spec.spec_hash()
+    delay = _BACKOFF_BASE
+    for attempt in range(shard_retries + 1):
+        try:
+            faults.inject(
+                "runner.shard_start",
+                start=group.start,
+                ordinal=-1,
+                attempt=attempt,
+                mode="serial",
+            )
+            return kernel.run_group(spec, cells[group.start:group.end]), attempt
+        except faults.InjectedFault as exc:
+            if attempt >= shard_retries:
+                raise ExperimentError(
+                    f"shard at cells[{group.start}:{group.end}] of "
+                    f"{spec.experiment!r} failed after {attempt + 1} "
+                    f"attempts: {exc}"
+                ) from exc
+            delay = _backoff_delay(spec_hash, group.start, attempt + 1, delay)
+            time.sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class _Slot:
+    """Supervision state for one in-flight shard attempt."""
+
+    __slots__ = ("proc", "attempt", "deadline", "reap_at")
+
+    def __init__(self, proc, attempt, deadline):
+        self.proc = proc
+        self.attempt = attempt
+        self.deadline = deadline
+        self.reap_at = None  # set when found dead without a result
+
+
 def _run_sharded(
-    spec, kernel, cells, pending, workers, flush, threads=None
-) -> None:
-    """Fan pending shards over a process pool; commit in expansion order.
+    spec, kernel, cells, pending, workers, flush, threads=None,
+    shard_timeout=None, shard_retries=2,
+) -> int:
+    """Supervised shard fan-out; commit in expansion order. Returns retries.
+
+    Each pending shard runs in its own forked worker process (fresh fork
+    per attempt, so re-dispatches inherit supervisor-side state such as
+    backing demotions). The supervisor loop dispatches up to ``workers``
+    shards at once, longest-first, and watches for three failure shapes:
+
+    * an ``error`` message — the worker caught an exception (injected or
+      real) and reported it;
+    * a watchdog timeout — the worker exceeded ``shard_timeout`` wall
+      clock and is killed (hung kernel, injected hang);
+    * a silent death — the process exited without posting a result
+      (SIGKILL, ``os._exit``, segfault), detected by the liveness sweep
+      after a short drain grace.
+
+    Failed shards are re-dispatched up to ``shard_retries`` times under
+    seeded decorrelated-jitter backoff; because a shard's randomness
+    derives from the spec alone, a replayed shard recomputes the exact
+    incumbent chain and the run stays bit-identical to a fault-free one.
+    Repeated watchdog faults (timeout / silent death) on one shard demote
+    the auto gain backing one ladder rung before the next dispatch.
 
     Each worker gets an equal slice of the kernel thread budget
     (``threads`` or the ambient ``REPRO_NATIVE_THREADS``/cpu default), so
@@ -299,33 +557,140 @@ def _run_sharded(
     oversubscribing.
     """
     import multiprocessing
+    from queue import Empty
 
     from repro.core import native
 
     spec_json = json.dumps(spec.to_dict())
+    spec_hash = spec.spec_hash()
     order = sorted(
         range(len(pending)),
         key=lambda i: (-_group_cost(spec, kernel, pending[i], cells), i),
     )
-    payloads = [
-        (spec_json, i, cells[pending[i].start:pending[i].end]) for i in order
-    ]
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    finished: Dict[int, Any] = {}
-    next_flush = 0
     processes = min(workers, len(pending))
     budget = threads if threads is not None else native.thread_count()
-    with context.Pool(
-        processes=processes,
-        initializer=native.configure_threads,
-        initargs=(max(1, budget // processes),),
-    ) as pool:
-        for ordinal, chunk in pool.imap_unordered(_run_group_task, payloads):
-            finished[ordinal] = chunk
+    per_worker = max(1, budget // processes)
+
+    queue = context.Queue()
+    waiting: List[int] = list(order)
+    blocked: List[Tuple[float, int]] = []  # (not-before, ordinal) backoffs
+    slots: Dict[int, _Slot] = {}
+    finished: Dict[int, Any] = {}
+    attempts: Dict[int, int] = {}
+    delays: Dict[int, float] = {}
+    next_flush = 0
+    retries = 0
+
+    def launch(ordinal: int) -> None:
+        group = pending[ordinal]
+        attempt = attempts.get(ordinal, 0)
+        proc = context.Process(
+            target=_shard_worker,
+            args=(
+                spec_json, ordinal, group.start, attempt,
+                cells[group.start:group.end], per_worker, queue,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        deadline = (
+            time.monotonic() + shard_timeout if shard_timeout is not None else None
+        )
+        slots[ordinal] = _Slot(proc, attempt, deadline)
+
+    def fail(ordinal: int, reason: str, watchdog: bool) -> None:
+        nonlocal retries
+        group = pending[ordinal]
+        count = attempts.get(ordinal, 0) + 1
+        attempts[ordinal] = count
+        if count > shard_retries:
+            raise ExperimentError(
+                f"shard at cells[{group.start}:{group.end}] of "
+                f"{spec.experiment!r} failed after {count} attempts: {reason}"
+            )
+        retries += 1
+        if watchdog and count >= 2:
+            _demote_after_watchdog(
+                f"shard at cells[{group.start}:{group.end}]: {reason}"
+            )
+        delay = _backoff_delay(
+            spec_hash, group.start, count, delays.get(ordinal, _BACKOFF_BASE)
+        )
+        delays[ordinal] = delay
+        blocked.append((time.monotonic() + delay, ordinal))
+
+    try:
+        while next_flush < len(pending):
+            now = time.monotonic()
+            for entry in list(blocked):
+                if entry[0] <= now:
+                    blocked.remove(entry)
+                    waiting.insert(0, entry[1])
+            while waiting and len(slots) < processes:
+                launch(waiting.pop(0))
+            if not slots:
+                # Everything in flight is backing off; sleep toward the
+                # earliest retry instead of spinning.
+                wake = min(entry[0] for entry in blocked)
+                time.sleep(max(0.0, min(wake - time.monotonic(), _BACKOFF_CAP)))
+                continue
+            try:
+                message = queue.get(timeout=0.05)
+            except Empty:
+                message = None
+            if message is not None:
+                ordinal, attempt, status, payload = message
+                slot = slots.get(ordinal)
+                if slot is not None and slot.attempt == attempt:
+                    slot.proc.join()
+                    del slots[ordinal]
+                    if status == "ok":
+                        finished[ordinal] = payload
+                    else:
+                        fail(ordinal, payload, watchdog=False)
+                # else: stale message from a killed attempt — drop it.
+            now = time.monotonic()
+            for ordinal, slot in list(slots.items()):
+                if slot.deadline is not None and now >= slot.deadline:
+                    slot.proc.kill()
+                    slot.proc.join()
+                    del slots[ordinal]
+                    fail(
+                        ordinal,
+                        f"exceeded the {shard_timeout:.1f}s shard watchdog",
+                        watchdog=True,
+                    )
+                elif not slot.proc.is_alive():
+                    if slot.reap_at is None:
+                        slot.reap_at = now + _REAP_GRACE
+                    elif now >= slot.reap_at:
+                        code = slot.proc.exitcode
+                        slot.proc.join()
+                        del slots[ordinal]
+                        fail(
+                            ordinal,
+                            f"worker died without a result (exit code {code})",
+                            watchdog=True,
+                        )
             while next_flush in finished:
                 flush(pending[next_flush], finished.pop(next_flush))
                 next_flush += 1
+    finally:
+        # Always reap every child — KeyboardInterrupt included — so an
+        # interrupted run releases the store lock with no orphan workers.
+        for slot in slots.values():
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+        for slot in slots.values():
+            slot.proc.join(timeout=5)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(timeout=5)
+        queue.close()
+        queue.cancel_join_thread()
+    return retries
 
 
 def run_figure(

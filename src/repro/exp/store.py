@@ -33,8 +33,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+import warnings
 from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
 
+from repro import faults
 from repro.exp.spec import ExperimentSpec, cell_key
 
 RUN_FORMAT = "repro-run"
@@ -58,13 +61,36 @@ def _dump_line(cell: Mapping[str, Any], metrics: Mapping[str, Any]) -> str:
     ) + "\n"
 
 
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory entry (after an ``os.replace``)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems rejecting dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_atomic(path: str, text: str) -> None:
+    """Durable atomic replace: write, fsync, rename, fsync the directory.
+
+    Without the fsyncs a crash shortly after ``os.replace`` can surface
+    the new name pointing at unwritten data (or the old name lingering);
+    with them a manifest update is all-or-nothing across power loss too.
+    """
     directory = os.path.dirname(path)
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
@@ -191,10 +217,19 @@ class RunState:
             if not isinstance(payload, dict):
                 # A newline-terminated line that does not parse was fully
                 # written and then damaged: corruption, not a torn append.
-                raise RunStoreError(
-                    f"{self.path}: corrupt line {len(metrics)} in "
-                    "cells.jsonl"
+                # In a partial run the good prefix is still exactly a
+                # prefix, so quarantine the damaged suffix and resume from
+                # it rather than aborting the whole run.
+                if self.complete:
+                    raise RunStoreError(
+                        f"{self.path}: corrupt line {len(metrics)} in "
+                        "cells.jsonl"
+                    )
+                self._quarantine(
+                    offset,
+                    f"corrupt line {len(metrics)} in cells.jsonl",
                 )
+                break
             index = len(metrics)
             if index >= len(cells):
                 raise RunStoreError(
@@ -209,9 +244,14 @@ class RunState:
                 )
             stored_metrics = payload.get("metrics")
             if not isinstance(stored_metrics, dict):
-                raise RunStoreError(
-                    f"{self.path}: stored cell {index} has no metrics dict"
+                if self.complete:
+                    raise RunStoreError(
+                        f"{self.path}: stored cell {index} has no metrics dict"
+                    )
+                self._quarantine(
+                    offset, f"stored cell {index} has no metrics dict"
                 )
+                break
             metrics.append(stored_metrics)
             offset += len(raw_line)
         if self.complete and len(metrics) != len(cells):
@@ -222,15 +262,92 @@ class RunState:
             )
         return metrics
 
-    def append(self, cell: Mapping[str, Any], metrics: Mapping[str, Any]) -> None:
-        """Append one completed cell (runner guarantees expansion order)."""
+    def _quarantine(self, offset: int, reason: str) -> None:
+        """Move the damaged suffix aside and truncate to the good prefix.
+
+        The quarantined bytes stay on disk (``cells.quarantine.<n>``) for
+        post-mortems; the run itself resumes from the surviving prefix and
+        recomputes the rest, ending byte-identical to an undamaged run.
+        """
+        with open(self.cells_path, "r+b") as handle:
+            handle.seek(offset)
+            tail = handle.read()
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        sequence = 0
+        while True:
+            target = os.path.join(self.path, f"cells.quarantine.{sequence}")
+            if not os.path.exists(target):
+                break
+            sequence += 1
+        with open(target, "wb") as handle:
+            handle.write(tail)
+            handle.flush()
+            os.fsync(handle.fileno())
+        warnings.warn(
+            f"{self.path}: {reason}; quarantined {len(tail)} bytes to "
+            f"{os.path.basename(target)} and truncated cells.jsonl — "
+            "resuming recomputes from the surviving prefix",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _commit_fault(self, length: int, index: int) -> Optional[faults.TornWrite]:
+        """The ``store.commit`` injection point, with bounded retry.
+
+        Transient injected errors model an append that failed before any
+        byte hit the file; retrying re-evaluates the plan (each visit is
+        a fresh deterministic draw), so low-probability chaos never kills
+        a run here. Deterministic ``when``-rules exhaust the retries and
+        propagate — targeted plans can still force a commit failure.
+        """
+        last: Optional[faults.InjectedFault] = None
+        for attempt in range(4):
+            try:
+                return faults.inject(
+                    "store.commit",
+                    path=self.path,
+                    length=length,
+                    index=index,
+                    attempt=attempt,
+                )
+            except faults.InjectedFault as exc:
+                last = exc
+                time.sleep(0.01 * (attempt + 1))
+        raise last  # type: ignore[misc]  # loop always set it
+
+    def append(
+        self,
+        cell: Mapping[str, Any],
+        metrics: Mapping[str, Any],
+        index: int = -1,
+    ) -> None:
+        """Append one completed cell (runner guarantees expansion order).
+
+        ``index`` is the cell's absolute expansion index when the caller
+        knows it; fault plans use it to target specific commits in a way
+        that stays stable across process restarts (unlike hit counters,
+        which reset per process).
+        """
+        data = _dump_line(cell, metrics).encode("utf-8")
+        action = self._commit_fault(len(data), index)
         if self._handle is None:
             self._handle = open(self.cells_path, "ab")
-        self._handle.write(_dump_line(cell, metrics).encode("utf-8"))
+        if action is not None:
+            # Injected torn write: flush a strict prefix of the line to
+            # disk, then die the way a SIGKILL mid-append would.
+            self._handle.write(data[: action.length])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            os._exit(action.exit_code)
+        self._handle.write(data)
 
     def flush(self) -> None:
+        """Flush buffered appends and fsync them to disk (commit point)."""
         if self._handle is not None:
             self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def _close_handle(self) -> None:
         if self._handle is not None:
@@ -247,8 +364,15 @@ class RunState:
         self._close_handle()
         self._release_lock()
 
-    def finalize(self, cell_count: int) -> None:
-        """Mark the run complete: record cell count + cells.jsonl checksum."""
+    def finalize(
+        self, cell_count: int, faults_record: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Mark the run complete: record cell count + cells.jsonl checksum.
+
+        ``faults_record`` (retries, backing demotions) lands in the
+        manifest only when non-empty, so fault-free manifests are
+        byte-identical to pre-chaos ones.
+        """
         self._close_handle()
         if not os.path.exists(self.cells_path):
             # A spec can legitimately expand to zero cells (e.g. every b
@@ -263,6 +387,8 @@ class RunState:
             "cells": cell_count,
             "cells_sha256": digest,
         }
+        if faults_record:
+            self.manifest["faults"] = dict(faults_record)
         _write_atomic(self.manifest_path, json.dumps(self.manifest, indent=1) + "\n")
         self._release_lock()  # finalize is terminal; the run is reopenable
 
@@ -274,7 +400,7 @@ class RunState:
         self.manifest = {
             key: value
             for key, value in self.manifest.items()
-            if key not in ("complete", "cells", "cells_sha256")
+            if key not in ("complete", "cells", "cells_sha256", "faults")
         }
         self.manifest["complete"] = False
         _write_atomic(self.manifest_path, json.dumps(self.manifest, indent=1) + "\n")

@@ -1,0 +1,57 @@
+"""Deterministic, seeded fault injection for chaos-hardening the stack.
+
+The package has two halves:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a pure-data description
+  of *which* faults fire *where* (sha256-identified, like
+  :class:`~repro.exp.spec.ExperimentSpec`), parsed from ``REPRO_CHAOS``;
+* :mod:`repro.faults.injector` — the runtime: consumers call
+  :func:`inject` at named sites; with no active plan this is a cheap
+  no-op, with one it deterministically crashes, hangs, tears a write,
+  raises a transient :class:`InjectedFault`, or forces a backend failure.
+
+Sites threaded through the stack: ``store.commit`` (run-store appends),
+``runner.shard_start`` (shard workers), ``native.compile`` (the C
+accelerator build), ``kernels.dispatch`` (gain-backing selection) and
+``sim.strike`` (the simulator's adversary step). The consumers are
+hardened — supervised retries, quarantine-and-truncate, a degradation
+ladder — so an injected fault degrades a run instead of corrupting it.
+"""
+
+from repro.faults.injector import (
+    InjectedFault,
+    TornWrite,
+    active_plan,
+    clear,
+    configure,
+    fired_by_rule,
+    fired_total,
+    inject,
+    reset_counters,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    prob_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SITES",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "InjectedFault",
+    "TornWrite",
+    "active_plan",
+    "clear",
+    "configure",
+    "fired_by_rule",
+    "fired_total",
+    "inject",
+    "prob_plan",
+    "reset_counters",
+]

@@ -326,9 +326,7 @@ class LifetimeSimulator:
             self.injector.engine = self.mirror.flush()
         else:
             self.injector.engine = None  # snapshot + fingerprint per strike
-        nodes = self.injector.select(
-            self.cluster, process.k, self.rule, warm_start=self._warm
-        )
+        nodes = self._select_strike(process.k)
         attack = self.injector.last_result
         self._warm = attack.nodes
         for node in nodes:
@@ -344,6 +342,27 @@ class LifetimeSimulator:
                 certified=self._certified,
             )
         )
+
+    def _select_strike(self, k: int):
+        """Run the adversary once, retrying injected transient faults.
+
+        The ``sim.strike`` injection point. Selection is a pure function
+        of the cluster state and warm start, so a retry recomputes the
+        identical strike — a chaos-injected hiccup perturbs timing, never
+        the simulated trajectory.
+        """
+        from repro import faults
+
+        last = None
+        for attempt in range(4):
+            try:
+                faults.inject("sim.strike", k=k, attempt=attempt)
+                return self.injector.select(
+                    self.cluster, k, self.rule, warm_start=self._warm
+                )
+            except faults.InjectedFault as exc:
+                last = exc
+        raise last
 
     # -- measurement ---------------------------------------------------------
 

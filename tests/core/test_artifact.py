@@ -315,3 +315,24 @@ class TestMmapLoading:
         loaded = load_npz(path, mmap=True)
         assert loaded == placement
         assert not isinstance(loaded.replica_array(), memoryview)
+
+    def test_mmap_fallback_warns_once_naming_the_reason(
+        self, placement, tmp_path, monkeypatch
+    ):
+        import warnings as _warnings
+
+        import pytest
+
+        path = self._saved(placement, tmp_path)
+
+        def refuse(*args, **kwargs):
+            raise OSError("one-shot warning probe")
+
+        monkeypatch.setattr(artifact._mmaplib, "mmap", refuse)
+        artifact._MMAP_FALLBACK_WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="one-shot warning probe"):
+            load_npz(path, mmap=True)
+        # Same reason again: degradation already surfaced, stay quiet.
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            load_npz(path, mmap=True)

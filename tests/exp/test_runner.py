@@ -93,20 +93,32 @@ class TestStoreIntegration:
             sharded_bytes = handle.read()
         assert serial_bytes == sharded_bytes
 
-    def test_corrupt_store_error_releases_the_lock(self, tmp_path):
-        # A RunStoreError out of load_prefix must not leave the run lock
-        # held — a non-resume retry in the same process repairs the store.
+    def test_corrupt_partial_store_is_quarantined_and_resumed(self, tmp_path):
+        # Damaged bytes in a partial run are quarantined and truncated
+        # away; the resume serves the surviving prefix and recomputes the
+        # rest, ending byte-identical to an undamaged run.
+        import os
+
         spec = _small_fig2_spec()
-        store = RunStore(str(tmp_path))
+        store = RunStore(str(tmp_path / "a"))
         run_experiment(spec, store=store, limit=4)
         with open(store.cells_file(spec), "ab") as handle:
             handle.write(b"newline-terminated garbage\n")
-        from repro.exp.store import RunStoreError
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            resumed = run_experiment(spec, store=store, resume=True)
+        assert resumed.complete
+        run_dir = os.path.dirname(store.cells_file(spec))
+        assert os.path.exists(os.path.join(run_dir, "cells.quarantine.0"))
 
-        with pytest.raises(RunStoreError, match="corrupt"):
-            run_experiment(spec, store=store, resume=True)
-        repaired = run_experiment(spec, store=store)  # fresh restart
-        assert repaired.complete and repaired.loaded == 0
+        reference = run_experiment(spec, store=RunStore(str(tmp_path / "b")))
+        with open(store.cells_file(spec), "rb") as handle:
+            resumed_bytes = handle.read()
+        with open(
+            RunStore(str(tmp_path / "b")).cells_file(spec), "rb"
+        ) as handle:
+            reference_bytes = handle.read()
+        assert resumed_bytes == reference_bytes
+        assert resumed.result() == reference.result()
 
     def test_mutated_spec_gets_a_fresh_run(self, tmp_path):
         store = RunStore(str(tmp_path))

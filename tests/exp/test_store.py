@@ -78,28 +78,55 @@ class TestCorruption:
         with open(state.cells_path, "rb") as handle:
             assert handle.read().endswith(b"}\n")
 
-    def test_newline_terminated_garbage_tail_is_corruption(self, tmp_path):
+    def test_newline_terminated_garbage_tail_is_quarantined(self, tmp_path):
         # A fully written (newline-terminated) line that fails to parse
-        # was damaged after the fact — never silently truncated.
+        # was damaged after the fact. In a partial run the damage is
+        # quarantined (kept for post-mortems) and truncated away, loudly.
         store = RunStore(str(tmp_path))
         state = store.open_run(_spec())
         _fill(state, CELLS[:2])
         state.close()
         with open(state.cells_path, "ab") as handle:
             handle.write(b"not json at all\n")
-        with pytest.raises(RunStoreError, match="corrupt"):
-            store.open_run(_spec(), resume=True).load_prefix(CELLS)
+        resumed = store.open_run(_spec(), resume=True)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert resumed.load_prefix(CELLS) == [{"value": 0}, {"value": 10}]
+        quarantine = os.path.join(state.path, "cells.quarantine.0")
+        with open(quarantine, "rb") as handle:
+            assert handle.read() == b"not json at all\n"
+        # The cells file is a clean prefix again: appends continue.
+        with open(state.cells_path, "rb") as handle:
+            assert handle.read().endswith(b"}\n")
 
-    def test_mid_file_corruption_is_an_error(self, tmp_path):
+    def test_mid_file_corruption_quarantines_from_the_damage(self, tmp_path):
+        # Damage in the middle of a partial run costs everything from the
+        # first bad line on — the prefix before it survives.
         store = RunStore(str(tmp_path))
         state = store.open_run(_spec())
         _fill(state, CELLS)
         state.close()
+        with open(state.cells_path, "rb") as handle:
+            first_line_len = len(handle.readline())
+        with open(state.cells_path, "r+b") as handle:
+            handle.seek(first_line_len + 3)
+            handle.write(b"\xff\xff")
+        resumed = store.open_run(_spec(), resume=True)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert resumed.load_prefix(CELLS) == [{"value": 0}]
+
+    def test_corruption_in_a_complete_run_is_still_an_error(self, tmp_path):
+        # Quarantine-and-truncate is for partial runs only: a complete
+        # run's manifest pinned a checksum, so damage is reported, never
+        # silently repaired by dropping cells.
+        store = RunStore(str(tmp_path))
+        state = store.open_run(_spec())
+        _fill(state, CELLS)
+        state.finalize(len(CELLS))
         with open(state.cells_path, "r+b") as handle:
             handle.seek(3)
             handle.write(b"\xff\xff")
-        with pytest.raises(RunStoreError, match="corrupt"):
-            store.open_run(_spec(), resume=True).load_prefix(CELLS)
+        with pytest.raises(RunStoreError, match="checksum"):
+            store.open_run(_spec()).load_prefix(CELLS)
 
     def test_checksum_mismatch_on_complete_run(self, tmp_path):
         store = RunStore(str(tmp_path))

@@ -1,0 +1,16 @@
+"""Chaos tests share one invariant: leave no fault state behind."""
+
+import pytest
+
+from repro import faults
+from repro.core import kernels
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    """Fresh injector + ladder before and after every chaos test."""
+    faults.clear()
+    kernels.restore_backings()
+    yield
+    faults.clear()
+    kernels.restore_backings()

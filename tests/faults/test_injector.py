@@ -1,0 +1,156 @@
+"""Injector semantics: determinism, matching, counters, torn actions."""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, InjectedFault, TornWrite, prob_plan
+
+
+def _fires(plan, site, visits, **context):
+    """Replay ``visits`` calls against a fresh counter state."""
+    faults.configure(plan)
+    fired = []
+    for _ in range(visits):
+        try:
+            faults.inject(site, **context)
+            fired.append(False)
+        except InjectedFault:
+            fired.append(True)
+    return fired
+
+
+class TestDisabled:
+    def test_no_plan_is_a_no_op(self):
+        faults.configure(None)
+        assert faults.inject("store.commit", length=10) is None
+        assert faults.fired_total() == 0
+
+    def test_configure_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "prob:1.0")
+        faults.configure(None)
+        assert faults.inject("sim.strike", k=3) is None
+
+    def test_clear_restores_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "prob:1.0")
+        faults.configure(None)
+        faults.clear()
+        with pytest.raises(InjectedFault):
+            faults.inject("sim.strike", k=3)
+
+
+class TestMatching:
+    def test_when_matches_context_subset(self):
+        plan = FaultPlan.build(
+            [{"site": "sim.strike", "kind": "error", "when": {"k": 3}}]
+        )
+        faults.configure(plan)
+        assert faults.inject("sim.strike", k=2, attempt=0) is None
+        with pytest.raises(InjectedFault):
+            faults.inject("sim.strike", k=3, attempt=0)
+
+    def test_missing_when_key_never_matches(self):
+        plan = FaultPlan.build(
+            [{"site": "sim.strike", "kind": "error", "when": {"rack": 1}}]
+        )
+        faults.configure(plan)
+        assert faults.inject("sim.strike", k=3) is None
+
+    def test_hit_pseudo_key_counts_site_visits(self):
+        plan = FaultPlan.build(
+            [{"site": "sim.strike", "kind": "error", "when": {"hit": 2}}]
+        )
+        assert _fires(plan, "sim.strike", 5, k=1) == [
+            False, False, True, False, False,
+        ]
+
+    def test_times_caps_firing(self):
+        plan = FaultPlan.build(
+            [{"site": "sim.strike", "kind": "error", "times": 2}]
+        )
+        assert _fires(plan, "sim.strike", 5, k=1) == [
+            True, True, False, False, False,
+        ]
+
+    def test_sites_are_independent(self):
+        plan = prob_plan(1.0, sites=("store.commit",))
+        faults.configure(plan)
+        assert faults.inject("sim.strike", k=1) is None
+        with pytest.raises(InjectedFault):
+            faults.inject("store.commit", length=5)
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan.build([
+            {"site": "sim.strike", "kind": "error", "times": 1},
+            {"site": "sim.strike", "kind": "backend"},
+        ])
+        faults.configure(plan)
+        with pytest.raises(InjectedFault) as first:
+            faults.inject("sim.strike", k=1)
+        with pytest.raises(InjectedFault) as second:
+            faults.inject("sim.strike", k=1)
+        assert first.value.kind == "error"
+        assert second.value.kind == "backend"
+
+
+class TestDeterminism:
+    def test_same_plan_same_schedule(self):
+        plan = prob_plan(0.5, seed=7, sites=("sim.strike",))
+        first = _fires(plan, "sim.strike", 50, k=1)
+        second = _fires(plan, "sim.strike", 50, k=1)
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seed_different_schedule(self):
+        one = _fires(prob_plan(0.5, seed=1, sites=("sim.strike",)),
+                     "sim.strike", 50, k=1)
+        two = _fires(prob_plan(0.5, seed=2, sites=("sim.strike",)),
+                     "sim.strike", 50, k=1)
+        assert one != two
+
+    def test_context_changes_the_draw(self):
+        plan = prob_plan(0.5, seed=7, sites=("sim.strike",))
+        one = _fires(plan, "sim.strike", 50, k=1)
+        two = _fires(plan, "sim.strike", 50, k=2)
+        assert one != two
+
+    def test_fired_counters_account_by_rule(self):
+        plan = FaultPlan.build([
+            {"site": "sim.strike", "kind": "error", "when": {"hit": 0}},
+            {"site": "sim.strike", "kind": "error", "when": {"hit": 2}},
+        ])
+        _fires(plan, "sim.strike", 4, k=1)
+        assert faults.fired_by_rule() == {0: 1, 1: 1}
+        assert faults.fired_total() == 2
+        faults.reset_counters()
+        assert faults.fired_total() == 0
+
+
+class TestTornAction:
+    def test_cut_is_strictly_inside_the_payload(self):
+        plan = FaultPlan.build(
+            [{"site": "store.commit", "kind": "torn"}], seed=3
+        )
+        faults.configure(plan)
+        action = faults.inject("store.commit", length=100, index=0)
+        assert isinstance(action, TornWrite)
+        assert 1 <= action.length <= 99
+        assert action.exit_code == 137
+
+    def test_cut_offsets_vary_with_seed(self):
+        cuts = set()
+        for seed in range(8):
+            faults.configure(FaultPlan.build(
+                [{"site": "store.commit", "kind": "torn"}], seed=seed
+            ))
+            cuts.add(faults.inject("store.commit", length=1000, index=0).length)
+        assert len(cuts) > 1
+
+    def test_args_pin_the_cut_and_exit_code(self):
+        plan = FaultPlan.build([{
+            "site": "store.commit", "kind": "torn",
+            "args": {"bytes": 7, "exit": 9},
+        }])
+        faults.configure(plan)
+        action = faults.inject("store.commit", length=100, index=0)
+        assert action.length == 7
+        assert action.exit_code == 9

@@ -1,0 +1,37 @@
+"""Simulator under chaos: transient strike faults never change reports."""
+
+import pytest
+
+from repro import faults
+from repro.faults import InjectedFault, prob_plan
+from repro.sim import LifetimeSimulator, SimConfig
+
+
+def _config():
+    return SimConfig(
+        n=13, r=3, s=2, k=2, events=250, seed=9, racks=3,
+        strike_period=8.0, measure_period=8.0, effort="fast",
+    )
+
+
+def _report(config):
+    report = LifetimeSimulator(config).run().to_dict()
+    # Wall-clock fields vary run to run; everything else must not.
+    report.pop("wall_seconds", None)
+    report.pop("events_per_sec", None)
+    return report
+
+
+def test_transient_strike_faults_are_absorbed_bit_identically():
+    clean = _report(_config())
+
+    faults.configure(prob_plan(0.4, seed=5, sites=("sim.strike",)))
+    chaotic = _report(_config())
+    assert faults.fired_total() > 0  # the plan actually injected faults
+    assert chaotic == clean
+
+
+def test_persistent_strike_faults_exhaust_retries():
+    faults.configure(prob_plan(1.0, sites=("sim.strike",)))
+    with pytest.raises(InjectedFault):
+        LifetimeSimulator(_config()).run()

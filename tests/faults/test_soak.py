@@ -1,0 +1,69 @@
+"""Soak planner: deterministic schedules pinned to the spec's layout."""
+
+import pytest
+
+from repro.analysis import fig2
+from repro.faults.soak import SoakError, build_soak_plan
+
+
+def _spec():
+    return fig2.default_spec(b_values=(600, 1200), s_values=(2, 3), k_max=4)
+
+
+def _kinds(plan):
+    counts = {}
+    for rule in plan.rules:
+        counts[rule.kind] = counts.get(rule.kind, 0) + 1
+    return counts
+
+
+class TestPlanShape:
+    def test_fault_mix_matches_the_request(self):
+        plan = build_soak_plan(
+            _spec(), crashes=3, torn_writes=2, dispatch_errors=4,
+            hangs=1, seed=0,
+        )
+        assert _kinds(plan) == {
+            "crash": 3, "torn": 2, "error": 4, "hang": 1,
+        }
+
+    def test_same_seed_same_plan(self):
+        one = build_soak_plan(_spec(), crashes=2, torn_writes=2, seed=5)
+        two = build_soak_plan(_spec(), crashes=2, torn_writes=2, seed=5)
+        assert one.plan_hash() == two.plan_hash()
+
+    def test_different_seed_different_plan(self):
+        one = build_soak_plan(_spec(), crashes=2, torn_writes=2, seed=5)
+        two = build_soak_plan(_spec(), crashes=2, torn_writes=2, seed=6)
+        assert one.plan_hash() != two.plan_hash()
+
+    def test_crash_rules_only_target_supervised_dispatch(self):
+        plan = build_soak_plan(_spec(), crashes=4, hangs=1, seed=1)
+        for rule in plan.rules:
+            if rule.kind in ("crash", "hang"):
+                assert dict(rule.when)["mode"] == "shard"
+
+    def test_torn_rules_pin_index_and_hit_delta(self):
+        plan = build_soak_plan(_spec(), torn_writes=3, seed=2)
+        torn = [dict(rule.when) for rule in plan.rules
+                if rule.kind == "torn"]
+        assert len(torn) == 3
+        previous = 0
+        for when in sorted(torn, key=lambda entry: entry["index"]):
+            # The hit delta is what makes each rule one-shot across the
+            # whole restart loop (see build_soak_plan).
+            assert when["hit"] == when["index"] - previous
+            assert when["hit"] >= 1
+            previous = when["index"]
+
+    def test_empty_spec_is_rejected(self):
+        from repro.exp.spec import ExperimentSpec
+
+        empty = ExperimentSpec.build(
+            "fig2",
+            axes={"b": (19200,), "s": (2,)},
+            constants={"n": 71, "r": 3, "x": 1, "k_max": 3,
+                       "effort": "fast", "b_cap": 9600},
+        )
+        with pytest.raises(SoakError, match="zero cells"):
+            build_soak_plan(empty, crashes=1)
