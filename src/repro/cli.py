@@ -18,7 +18,14 @@ The commands cover the library's workflows without writing Python:
 * ``bounds``   — compare the Combo guarantee against Random's probable
   availability for a parameter point (one Fig. 9 cell);
 * ``audit``    — measure a placement's overlaps and certify floors;
-* ``catalog``  — query the design-existence catalog.
+* ``catalog``  — query the design-existence catalog;
+* ``stats``    — render a run manifest's ``"obs"`` metrics snapshot, or
+  validate and profile a span trace JSONL (``repro.obs``).
+
+``run``, ``attack``, and ``simulate`` all accept ``--stats`` (record and
+print the metrics registry; exported as ``$REPRO_METRICS`` so forked
+workers inherit it) and ``--trace <path>`` (append timing spans as JSONL;
+exported as ``$REPRO_TRACE``).
 """
 
 from __future__ import annotations
@@ -44,6 +51,21 @@ def _print_figure_catalog() -> None:
     width = max(len(name) for name, _ in entries)
     for name, description in entries:
         print(f"{name:<{width}}  {description}")
+
+
+def _add_obs_flags(command: argparse.ArgumentParser) -> None:
+    """The shared observability flags (run / attack / simulate)."""
+    command.add_argument(
+        "--stats", action="store_true",
+        help="record the metrics registry during this invocation and "
+        "print it to stderr afterwards (exported as $REPRO_METRICS=1 "
+        "so worker processes inherit it)",
+    )
+    command.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="append one JSON line per timing span to PATH (exported as "
+        "$REPRO_TRACE; inspect with `repro stats PATH`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard-retries", type=int, default=None,
                      help="re-dispatch attempts per failed shard before "
                      "the run errors (default: $REPRO_SHARD_RETRIES/2)")
+    _add_obs_flags(run)
 
     place = commands.add_parser("place", help="compute and emit a placement")
     place.add_argument("--strategy", choices=("combo", "simple", "random"),
@@ -148,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--mmap", action="store_true",
                         help="memory-map .npz placement rows instead of "
                         "loading them eagerly (lazy page-in at large b)")
+    _add_obs_flags(attack)
 
     simulate = commands.add_parser(
         "simulate",
@@ -194,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--final-placement", type=str, default=None,
                           help="write the final population snapshot as a "
                           "placement artifact (JSON or .npz, by extension)")
+    _add_obs_flags(simulate)
 
     soak = commands.add_parser(
         "chaos-soak",
@@ -239,6 +264,23 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--s", type=int, action="append", required=True,
                        help="fatality threshold (repeatable)")
 
+    stats = commands.add_parser(
+        "stats",
+        help="render a run manifest's metrics snapshot or profile a "
+        "span trace JSONL",
+    )
+    stats.add_argument(
+        "path",
+        help="a span trace JSONL file (from --trace / $REPRO_TRACE), a "
+        "run manifest.json, or a run directory / store root holding "
+        "exactly one run",
+    )
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit JSON instead of text tables")
+    stats.add_argument("--validate", action="store_true",
+                       help="only validate the trace against the span "
+                       "schema and report the span count")
+
     catalog = commands.add_parser("catalog", help="query design existence")
     catalog.add_argument("--r", type=int, required=True, help="block size")
     catalog.add_argument("--t", type=int, required=True, help="design strength")
@@ -262,14 +304,125 @@ def main(argv: Optional[List[str]] = None) -> int:
         "audit": _run_audit,
         "bounds": _run_bounds,
         "catalog": _run_catalog,
+        "stats": _run_stats,
     }[args.command]
     return handler(args)
+
+
+def _arm_obs(args):
+    """Honor --stats/--trace; returns the checkpoint to report against."""
+    from repro import obs
+
+    if getattr(args, "trace", None):
+        # Exported (not just configured in-process) so forked shard and
+        # pool workers inherit the export path.
+        os.environ["REPRO_TRACE"] = args.trace
+        obs.reset_trace()
+    if getattr(args, "stats", False):
+        os.environ["REPRO_METRICS"] = "1"
+        obs.set_metrics(True)
+        return obs.checkpoint()
+    return None
+
+
+def _report_obs(mark) -> None:
+    """Print the metrics recorded since ``mark`` (from --stats)."""
+    if mark is None:
+        return
+    from repro import obs
+    from repro.obs.report import render_metrics
+
+    print(
+        render_metrics(
+            obs.delta_since(mark), title="metrics (this invocation)"
+        ),
+        file=sys.stderr,
+    )
+
+
+def _resolve_manifest_path(path: str) -> Optional[str]:
+    """The manifest.json a stats path refers to, or None (trace file).
+
+    Accepts the manifest itself, a run directory containing one, or a
+    store root whose subdirectories hold exactly one run.
+    """
+    if os.path.basename(path) == "manifest.json":
+        return path
+    if not os.path.isdir(path):
+        return None
+    direct = os.path.join(path, "manifest.json")
+    if os.path.exists(direct):
+        return direct
+    nested = [
+        os.path.join(path, entry, "manifest.json")
+        for entry in sorted(os.listdir(path))
+        if os.path.exists(os.path.join(path, entry, "manifest.json"))
+    ]
+    if len(nested) == 1:
+        return nested[0]
+    if nested:
+        raise ValueError(
+            f"{path} holds {len(nested)} runs; point at one run directory "
+            "or its manifest.json"
+        )
+    raise ValueError(f"{path}: no manifest.json found")
+
+
+def _run_stats(args) -> int:
+    from repro.obs.profile import build_profile, render_profile
+    from repro.obs.report import load_trace, metrics_json, render_metrics
+
+    try:
+        manifest_path = _resolve_manifest_path(args.path)
+    except ValueError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    if manifest_path is not None:
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"stats: cannot read {manifest_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        record = manifest.get("obs")
+        if not record:
+            print(
+                f"stats: {manifest_path} has no \"obs\" record — the run "
+                "was not instrumented (rerun with --stats or "
+                "REPRO_METRICS=1)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.as_json:
+            print(metrics_json(record))
+        else:
+            print(render_metrics(record, title="manifest obs snapshot"))
+        return 0
+    try:
+        records = load_trace(args.path)
+    except OSError as exc:
+        print(f"stats: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.path}: {len(records)} spans, schema ok")
+        return 0
+    if args.as_json:
+        print(json.dumps(build_profile(records), indent=1))
+        return 0
+    print(f"{args.path}: {len(records)} spans")
+    print(render_profile(build_profile(records)))
+    return 0
 
 
 def _run_simulate(args) -> int:
     from repro.analysis.timeseries import render_report
     from repro.sim import LifetimeSimulator, SimConfig
 
+    mark = _arm_obs(args)
     backend = None if args.kernel in (None, "auto") else args.kernel
     config = SimConfig(
         n=args.n, r=args.r, s=args.s, k=args.k,
@@ -306,6 +459,7 @@ def _run_simulate(args) -> int:
                 f"{args.final_placement}",
                 file=sys.stderr,
             )
+    _report_obs(mark)
     return 0
 
 
@@ -379,6 +533,7 @@ def _run_exp(args) -> int:
         # Exported (not just configured in-process) so forked shard
         # workers inherit the plan.
         os.environ["REPRO_CHAOS"] = args.chaos
+    mark = _arm_obs(args)
     spec, code = _load_run_target(args.target, "run")
     if spec is None:
         return code
@@ -422,6 +577,7 @@ def _run_exp(args) -> int:
     print(run.summary(), file=sys.stderr)
     if run.store_path is not None:
         print(f"run store: {run.store_path}", file=sys.stderr)
+    _report_obs(mark)
     return 0
 
 
@@ -525,6 +681,7 @@ def _run_attack(args) -> int:
                   file=sys.stderr)
             return 2
         native.configure_threads(args.threads)
+    mark = _arm_obs(args)
     placement = load_placement(args.placement, mmap=args.mmap)
     cells = [AttackCell(k, args.s, args.effort) for k in args.k]
     results = batch_attack(
@@ -541,6 +698,7 @@ def _run_attack(args) -> int:
         print(
             f"certified optimal: {'yes' if result.exact else 'no (lower bound)'}"
         )
+    _report_obs(mark)
     return 0
 
 

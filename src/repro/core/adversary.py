@@ -61,6 +61,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.kernels import DamageKernel, make_kernel
 from repro.core.placement import Placement
 from repro.util.combinatorics import binom
@@ -125,13 +126,15 @@ class ExhaustiveAdversary:
                 f"{self.max_subsets}; use BranchAndBoundAdversary"
             )
         model = _bind_kernel(placement, s, kernel)
+        counting = obs.metrics_enabled()
         best_nodes: Tuple[int, ...] = ()
         best_damage = -1
         evaluations = 0
+        moves = 0  # add/remove pairs: every tree edge is one of each
         chosen: List[int] = []
 
         def recurse(start: int, hits) -> None:
-            nonlocal best_nodes, best_damage, evaluations
+            nonlocal best_nodes, best_damage, evaluations, moves
             if len(chosen) == k:
                 evaluations += 1
                 d = model.damage_of(hits)
@@ -143,11 +146,15 @@ class ExhaustiveAdversary:
             for node in range(start, n - remaining + 1):
                 chosen.append(node)
                 hits = model.add_node(hits, node)
+                moves += 1
                 recurse(node + 1, hits)
                 hits = model.remove_node(hits, node)
                 chosen.pop()
 
         recurse(0, model.empty_hits())
+        if counting and moves:
+            obs.count("kernel.node_adds", moves)
+            obs.count("kernel.node_removes", moves)
         return AttackResult(
             nodes=best_nodes, damage=best_damage, exact=True, evaluations=evaluations
         )
@@ -172,6 +179,8 @@ class GreedyAdversary:
             evaluations += model.n - len(chosen)
             chosen.append(node)
             hits = model.add_node(hits, node)
+        if obs.metrics_enabled() and k:
+            obs.count("kernel.node_adds", k)
         return AttackResult(
             nodes=tuple(sorted(chosen)),
             damage=model.damage_of(hits),
@@ -217,6 +226,15 @@ class LocalSearchAdversary:
         model = _bind_kernel(placement, s, kernel)
         rng = self.rng if self.rng is not None else random.Random(self.seed)
         evaluations = 0
+        counting = obs.metrics_enabled()
+        # Semantic move counts, accumulated locally and flushed once at the
+        # end. Counted here at the driver level — not inside the kernels —
+        # because the native backing fuses a whole polish pass into one
+        # foreign call; the driver sees identical pass/position structure
+        # on every backing, so these totals are bit-identical by design.
+        node_adds = 0
+        node_removes = 0
+        swaps = 0
 
         def polish(seed_nodes: List[int]) -> Tuple[Tuple[int, ...], int, int]:
             # The hot loop, delegated sweep-by-sweep to the kernel: one
@@ -226,6 +244,7 @@ class LocalSearchAdversary:
             # gain backing). Each position examines n - (k - 1) candidate
             # additions; `spent` charges exactly that, identically for
             # every backend.
+            nonlocal node_adds, node_removes, swaps
             nodes = list(seed_nodes)
             hits = model.hits_for(nodes)
             current = model.damage_of(hits)
@@ -233,8 +252,15 @@ class LocalSearchAdversary:
             spent = 0
             improved = True
             while improved:
+                before = list(nodes) if counting else None
                 hits, current, improved = model.polish_pass(hits, nodes, current)
                 spent += pass_cost
+                if counting:
+                    # One pass removes and re-adds every position; a swap is
+                    # a position whose occupant changed.
+                    node_removes += len(nodes)
+                    node_adds += len(nodes)
+                    swaps += sum(1 for a, b in zip(before, nodes) if a != b)
             return tuple(sorted(nodes)), current, spent
 
         def complete(seed_nodes: Sequence[int]) -> Tuple[List[int], int]:
@@ -245,6 +271,7 @@ class LocalSearchAdversary:
             are dropped *before* accounting, so the charge reflects the
             greedy steps that really ran.
             """
+            nonlocal node_adds
             nodes = [u for u in dict.fromkeys(seed_nodes) if 0 <= u < model.n][:k]
             hits = model.hits_for(nodes)
             spent = 0
@@ -253,6 +280,8 @@ class LocalSearchAdversary:
                 spent += model.n - len(nodes)
                 nodes.append(v)
                 hits = model.add_node(hits, v)
+                if counting:
+                    node_adds += 1
             return nodes, spent
 
         greedy = GreedyAdversary().attack(placement, k, s, kernel=model)
@@ -272,6 +301,13 @@ class LocalSearchAdversary:
             evaluations += spent
             if dmg > best_damage:
                 best_nodes, best_damage = nodes, dmg
+        if counting:
+            if node_adds:
+                obs.count("kernel.node_adds", node_adds)
+            if node_removes:
+                obs.count("kernel.node_removes", node_removes)
+            if swaps:
+                obs.count("kernel.swaps", swaps)
         return AttackResult(
             nodes=best_nodes, damage=best_damage, exact=False, evaluations=evaluations
         )
@@ -314,12 +350,14 @@ class BranchAndBoundAdversary:
         best_damage = incumbent.damage
         best_nodes = incumbent.nodes
         evaluations = incumbent.evaluations
+        counting = obs.metrics_enabled()
+        moves = 0  # add/remove pairs: every tree edge is one of each
         budget = [self.max_nodes if self.max_nodes is not None else -1]
         exhausted = [False]
         chosen: List[int] = []
 
         def recurse(start: int, hits) -> None:
-            nonlocal best_damage, best_nodes, evaluations
+            nonlocal best_damage, best_nodes, evaluations, moves
             if exhausted[0]:
                 return
             slots = k - len(chosen)
@@ -343,6 +381,7 @@ class BranchAndBoundAdversary:
             for node in range(start, n - slots + 1):
                 chosen.append(node)
                 hits = model.add_node(hits, node)
+                moves += 1
                 recurse(node + 1, hits)
                 hits = model.remove_node(hits, node)
                 chosen.pop()
@@ -350,6 +389,9 @@ class BranchAndBoundAdversary:
                     return
 
         recurse(0, model.empty_hits())
+        if counting and moves:
+            obs.count("kernel.node_adds", moves)
+            obs.count("kernel.node_removes", moves)
         return AttackResult(
             nodes=tuple(sorted(best_nodes)),
             damage=best_damage,
@@ -380,20 +422,31 @@ def best_attack(
     known-good failure set, e.g. the result of the (k-1)-attack.
     """
     if effort == "fast":
-        return LocalSearchAdversary(restarts=4, rng=rng).attack(
+        result = LocalSearchAdversary(restarts=4, rng=rng).attack(
             placement, k, s, kernel=kernel, warm_start=warm_start
         )
-    if effort == "exact":
-        return BranchAndBoundAdversary(max_nodes=None).attack(
+    elif effort == "exact":
+        result = BranchAndBoundAdversary(max_nodes=None).attack(
             placement, k, s, kernel=kernel, warm_start=warm_start
         )
-    if effort == "auto":
+    elif effort == "auto":
         work = binom(placement.n, k) * placement.b
         if work <= 200_000_000:
-            return BranchAndBoundAdversary(max_nodes=5_000_000).attack(
+            result = BranchAndBoundAdversary(max_nodes=5_000_000).attack(
                 placement, k, s, kernel=kernel, warm_start=warm_start
             )
-        return LocalSearchAdversary(restarts=8, rng=rng).attack(
-            placement, k, s, kernel=kernel, warm_start=warm_start
-        )
-    raise ValueError(f"unknown effort {effort!r}; use fast, exact or auto")
+        else:
+            result = LocalSearchAdversary(restarts=8, rng=rng).attack(
+                placement, k, s, kernel=kernel, warm_start=warm_start
+            )
+    else:
+        raise ValueError(f"unknown effort {effort!r}; use fast, exact or auto")
+    if obs.metrics_enabled():
+        # Counted once per completed search, at the dispatch point every
+        # caller (engines, simulator, CLI) funnels through. Memoized
+        # repeats never reach here — engine cache hits return upstream —
+        # so these are pure semantic work counts.
+        obs.count("attack.searches")
+        obs.count("kernel.evaluations", result.evaluations)
+        obs.observe("attack.damage", result.damage)
+    return result

@@ -40,6 +40,7 @@ import zipfile
 from array import array
 from typing import Optional, Set, Tuple
 
+from repro import obs
 from repro.core.placement import Placement, PlacementError
 
 # Reasons already warned about for mmap -> eager fallback (one warning
@@ -255,8 +256,15 @@ def load_npz(path: str, validate: bool = False, mmap: bool = False) -> Placement
             # silently would hide a real capability loss (lazy page-in at
             # large b), so name the reason once per process.
             reason = f"{type(exc).__name__}: {exc}"
+            # Every fallback is counted (capacity loss is per-load), but
+            # the warning and the structured event fire once per reason —
+            # a sweep over a network mount degrades loudly exactly once.
+            obs.count("artifact.mmap_fallback")
             if reason not in _MMAP_FALLBACK_WARNED:
                 _MMAP_FALLBACK_WARNED.add(reason)
+                obs.record_event(
+                    "artifact.mmap_fallback", path=str(path), reason=reason
+                )
                 warnings.warn(
                     f"{path}: mmap load failed ({reason}); falling back to "
                     "the eager loader — results are identical but rows are "

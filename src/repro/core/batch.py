@@ -50,6 +50,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.adversary import AttackResult, best_attack
 from repro.core.kernels import (
     DamageKernel,
@@ -239,20 +240,25 @@ class AttackEngine:
             cached = self.memo_get(key)
             if cached is not None:
                 _CACHE_STATS["hits"] += 1
+                obs.count("attack.memo.hits")
                 return cached
             _CACHE_STATS["misses"] += 1
+            obs.count("attack.memo.misses")
         cell_rng = rng if rng is not None else derive_rng(
             seed, "batch", cell.s, cell.k, cell.effort
         )
-        result = best_attack(
-            self.placement,
-            cell.k,
-            cell.s,
-            effort=cell.effort,
-            rng=cell_rng,
-            kernel=self.kernel(cell.s),
-            warm_start=warm,
-        )
+        with obs.span(
+            "engine.attack", k=cell.k, s=cell.s, effort=cell.effort
+        ):
+            result = best_attack(
+                self.placement,
+                cell.k,
+                cell.s,
+                effort=cell.effort,
+                rng=cell_rng,
+                kernel=self.kernel(cell.s),
+                warm_start=warm,
+            )
         if use_cache:
             self.memo_put(key, result)
         return result
@@ -274,12 +280,17 @@ def engine_for(placement: Placement, backend: Optional[str] = None) -> AttackEng
     key = (placement.fingerprint(), resolved, backing)
     engine = _ENGINES.get(key)
     if engine is None:
+        obs.count("engine.cache.misses")
         engine = AttackEngine(placement, backend=resolved)
+        obs.count("engine.builds")
         _ENGINES[key] = engine
         while len(_ENGINES) > _ENGINE_CACHE_CAP:
             _ENGINES.popitem(last=False)
+            obs.count("engine.cache.evictions")
     else:
         _ENGINES.move_to_end(key)
+        obs.count("engine.cache.hits")
+    obs.gauge("engine.cache.size", len(_ENGINES))
     return engine
 
 
@@ -320,6 +331,20 @@ def _attack_group(
         warm = attack.nodes
         results.append((index, attack))
     return results
+
+
+def _attack_group_task(payload):
+    """One pool task: attack a group and report the metrics it recorded.
+
+    Forked workers inherit the parent's counter values, and one worker
+    may serve several payloads — so each task returns the registry
+    *delta* between its start and end alongside the results. The parent
+    merges those deltas, which makes counter totals exact for any worker
+    count (see ``repro.obs.metrics``).
+    """
+    mark = obs.checkpoint()
+    chunk = _attack_group(*payload)
+    return chunk, obs.delta_since(mark)
 
 
 def batch_attack(
@@ -389,7 +414,10 @@ def batch_attack(
                 initializer=native.configure_threads,
                 initargs=(native.worker_thread_budget(processes),),
             ) as pool:
-                chunks = pool.starmap(_attack_group, pending)
+                tasks = pool.map(_attack_group_task, pending)
+            chunks = [chunk for chunk, _delta in tasks]
+            for _chunk, delta in tasks:
+                obs.merge_delta(delta)
             for chunk in chunks:
                 for index, attack in chunk:
                     results[index] = attack
@@ -425,6 +453,7 @@ def _memoized_group(engine: AttackEngine, payload) -> Optional[
         results.append((index, cached))
         warm = cached.nodes
     _CACHE_STATS["hits"] += len(results)
+    obs.count("attack.memo.hits", len(results))
     return results
 
 

@@ -55,6 +55,7 @@ from contextlib import contextmanager
 from itertools import chain as _chain
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import native as _native
 from repro.core.placement import Placement
 
@@ -97,7 +98,10 @@ def demote_backing(backing: str, reason: str) -> None:
         )
     if backing == GAIN_BACKINGS[-1]:
         raise ValueError("the python gain backing is the floor; cannot demote it")
-    _DEMOTED.setdefault(backing, str(reason))
+    if backing not in _DEMOTED:
+        _DEMOTED[backing] = str(reason)
+        obs.count("kernel.demotions")
+        obs.record_event("kernel.demotion", backing=backing, reason=str(reason))
 
 
 def demoted_backings() -> Dict[str, str]:
@@ -1559,7 +1563,10 @@ def _dispatch_gain_kernel(
         backing = resolve_gain_backing(gain_backing)
         try:
             faults.inject("kernels.dispatch", backing=backing, s=s, attempt=attempt)
-            return _GAIN_KERNELS[backing](incidence, s)
+            with obs.span("kernels.dispatch", backing=backing, s=s):
+                kernel = _GAIN_KERNELS[backing](incidence, s)
+            obs.count("kernel.dispatch." + backing)
+            return kernel
         except faults.InjectedFault as fault:
             last = fault
             if (

@@ -50,6 +50,8 @@ import tempfile
 from array import array
 from typing import Any, Dict, Optional
 
+from repro import obs
+
 #: The C implementation of the gain-engine hot loops. ``counts`` is the
 #: per-object hit vector, ``gain[v]`` the number of objects exactly one
 #: failure from fatal that node ``v`` covers, ``dead`` the objects already
@@ -901,7 +903,9 @@ def load() -> ctypes.CDLL:
             raise RuntimeError("array('i') is not 32-bit on this platform")
         if sys.platform == "win32":  # pragma: no cover - not a target
             raise RuntimeError("native backing is not supported on Windows")
-        _lib = _bind(ctypes.CDLL(_compile()))
+        with obs.span("native.compile"):
+            _lib = _bind(ctypes.CDLL(_compile()))
+        obs.count("native.compiles")
     except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
         _load_error = str(exc)
         raise RuntimeError(_load_error) from None
@@ -974,6 +978,10 @@ def configure_threads(count: Optional[int]) -> None:
     """
     global _configured_threads
     _configured_threads = None if count is None else max(1, int(count))
+    try:
+        obs.gauge("native.threads", thread_count())
+    except ValueError:
+        pass  # garbage REPRO_NATIVE_THREADS still raises at first use
     if _pool_handle is not None and _pool_threads != thread_count():
         _drop_pool(destroy=True)
 

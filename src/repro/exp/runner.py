@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro import faults
+from repro import faults, obs
 from repro.core.batch import worker_count
 from repro.exp import registry
 from repro.exp.spec import ExperimentSpec
@@ -154,6 +154,9 @@ class RunResult:
     store_path: Optional[str] = None
     retries: int = 0
     demotions: List[Dict[str, str]] = field(default_factory=list)
+    #: Deterministic metrics delta of this invocation (None when metrics
+    #: are off); the same dict the store manifest records under "obs".
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def complete(self) -> bool:
@@ -271,9 +274,14 @@ def _shard_worker(
     """Supervised worker entry: compute one shard, post one message.
 
     Every outcome becomes a ``(ordinal, attempt, status, payload)``
-    message; a worker that dies without posting (crash, SIGKILL, hang
-    killed by the watchdog) is detected by the supervisor's liveness
-    sweep instead.
+    message; an ``ok`` payload is ``(chunk, metrics_delta)`` — the shard's
+    results plus everything it recorded in the metrics registry since
+    task start, which the supervisor merges so counter totals stay exact
+    for any worker count and invariant under retried-then-successful
+    shards (failed attempts never post ``ok``, so their recordings are
+    discarded with the process). A worker that dies without posting
+    (crash, SIGKILL, hang killed by the watchdog) is detected by the
+    supervisor's liveness sweep instead.
 
     After the message is safely on the wire the worker leaves via
     ``os._exit`` instead of a normal interpreter exit: a fresh process
@@ -287,6 +295,9 @@ def _shard_worker(
         native.configure_threads(thread_budget)
         spec = ExperimentSpec.from_dict(json.loads(spec_json))
         kernel = registry.kernel(spec.experiment)
+        # Forked workers inherit the parent's counter values, so the
+        # shard reports the delta between here and completion.
+        mark = obs.checkpoint()
         faults.inject(
             "runner.shard_start", start=start, ordinal=ordinal,
             attempt=attempt, mode="shard",
@@ -295,11 +306,16 @@ def _shard_worker(
         _post_and_exit(queue, (ordinal, attempt, "error",
                                f"{type(exc).__name__}: {exc}"))
     try:
-        chunk = list(kernel.run_group(spec, cells))
+        with obs.span(
+            "runner.shard", start=start, ordinal=ordinal,
+            attempt=attempt, mode="shard",
+        ):
+            chunk = list(kernel.run_group(spec, cells))
+        payload = (chunk, obs.delta_since(mark))
     except BaseException as exc:  # noqa: BLE001 - reported, then retried
         _post_and_exit(queue, (ordinal, attempt, "error",
                                f"{type(exc).__name__}: {exc}"))
-    _post_and_exit(queue, (ordinal, attempt, "ok", chunk))
+    _post_and_exit(queue, (ordinal, attempt, "ok", payload))
 
 
 def _post_and_exit(queue: Any, message: Any) -> None:
@@ -358,6 +374,7 @@ def run_experiment(
     from repro.core import kernels, native
 
     started = time.perf_counter()
+    run_mark = obs.checkpoint()
     kernel = registry.kernel(spec.experiment)
     if workers is None:
         workers = worker_count(1)
@@ -404,6 +421,10 @@ def run_experiment(
                 budget -= group.end - max(group.start, prefix)
             pending = kept
         recomputed = sum(max(0, prefix - group.start) for group in pending)
+        if prefix - recomputed:
+            obs.count("store.cells_loaded", prefix - recomputed)
+        if recomputed:
+            obs.count("store.cells_recomputed", recomputed)
 
         def flush(group: _Group, chunk: Sequence[Any]) -> None:
             if len(chunk) != group.size:
@@ -418,9 +439,8 @@ def run_experiment(
                     state.append(cells[index], metrics[index], index=index)
                 state.flush()
 
-        retries = 0
         if workers > 1 and len(pending) > 1:
-            retries = _run_sharded(
+            _run_sharded(
                 spec, kernel, cells, pending, workers, flush, threads,
                 shard_timeout, shard_retries,
             )
@@ -431,23 +451,26 @@ def run_experiment(
             native.configure_threads(threads)
             try:
                 for group in pending:
-                    chunk, attempts = _run_group_serial(
+                    chunk, _attempts = _run_group_serial(
                         spec, kernel, group, cells, shard_retries
                     )
-                    retries += attempts
                     flush(group, chunk)
             finally:
                 native.configure_threads(previous)
         else:
             for group in pending:
-                chunk, attempts = _run_group_serial(
+                chunk, _attempts = _run_group_serial(
                     spec, kernel, group, cells, shard_retries
                 )
-                retries += attempts
                 flush(group, chunk)
         computed = sum(
             group.end - max(group.start, prefix) for group in pending
         ) + recomputed
+        # The metrics registry is the single source of truth for retry
+        # accounting: every retry site (supervisor fail(), serial replay)
+        # records runner.shard_retries, and both RunResult.summary and
+        # the manifest "faults" record read this one counter delta.
+        retries = obs.delta_value("runner.shard_retries", run_mark)
         demotions = [
             {"backing": backing, "reason": reason}
             for backing, reason in kernels.demoted_backings().items()
@@ -458,9 +481,14 @@ def run_experiment(
             faults_record["shard_retries"] = retries
         if demotions:
             faults_record["demotions"] = [dict(entry) for entry in demotions]
+        obs_record: Optional[Dict[str, Any]] = None
+        if obs.metrics_enabled():
+            det = obs.deterministic_delta(run_mark)
+            if det["counters"] or det["histograms"]:
+                obs_record = det
         complete = all(entry is not None for entry in metrics)
         if state is not None and complete and not state.complete:
-            state.finalize(len(cells), faults_record or None)
+            state.finalize(len(cells), faults_record or None, obs_record)
     finally:
         if state is not None:
             state.close()
@@ -477,6 +505,7 @@ def run_experiment(
         store_path=state.path if state is not None else None,
         retries=retries,
         demotions=demotions,
+        obs=obs_record,
     )
 
 
@@ -492,6 +521,7 @@ def _run_group_serial(
     spec_hash = spec.spec_hash()
     delay = _BACKOFF_BASE
     for attempt in range(shard_retries + 1):
+        mark = obs.checkpoint()
         try:
             faults.inject(
                 "runner.shard_start",
@@ -500,14 +530,28 @@ def _run_group_serial(
                 attempt=attempt,
                 mode="serial",
             )
-            return kernel.run_group(spec, cells[group.start:group.end]), attempt
+            with obs.span(
+                "runner.shard", start=group.start, end=group.end,
+                attempt=attempt, mode="serial",
+            ):
+                chunk = kernel.run_group(spec, cells[group.start:group.end])
+            return chunk, attempt
         except faults.InjectedFault as exc:
+            # Discard the failed attempt's gated recordings — the retry
+            # re-records the work — while always-counters (the retry
+            # itself, fault fires) keep counting.
+            obs.rollback(mark)
             if attempt >= shard_retries:
                 raise ExperimentError(
                     f"shard at cells[{group.start}:{group.end}] of "
                     f"{spec.experiment!r} failed after {attempt + 1} "
                     f"attempts: {exc}"
                 ) from exc
+            obs.count("runner.shard_retries")
+            obs.record_event(
+                "runner.shard_retry", start=group.start,
+                attempt=attempt + 1, reason=str(exc), watchdog=False,
+            )
             delay = _backoff_delay(spec_hash, group.start, attempt + 1, delay)
             time.sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -611,6 +655,11 @@ def _run_sharded(
                 f"{spec.experiment!r} failed after {count} attempts: {reason}"
             )
         retries += 1
+        obs.count("runner.shard_retries")
+        obs.record_event(
+            "runner.shard_retry", start=group.start, attempt=count,
+            reason=reason, watchdog=watchdog,
+        )
         if watchdog and count >= 2:
             _demote_after_watchdog(
                 f"shard at cells[{group.start}:{group.end}]: {reason}"
@@ -647,7 +696,12 @@ def _run_sharded(
                     slot.proc.join()
                     del slots[ordinal]
                     if status == "ok":
-                        finished[ordinal] = payload
+                        chunk, delta = payload
+                        # Merge only successful attempts' recordings:
+                        # failed/killed attempts never post ok, so their
+                        # half-done work never skews the totals.
+                        obs.merge_delta(delta)
+                        finished[ordinal] = chunk
                     else:
                         fail(ordinal, payload, watchdog=False)
                 # else: stale message from a killed attempt — drop it.

@@ -37,7 +37,7 @@ import time
 import warnings
 from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
 
-from repro import faults
+from repro import faults, obs
 from repro.exp.spec import ExperimentSpec, cell_key
 
 RUN_FORMAT = "repro-run"
@@ -341,7 +341,10 @@ class RunState:
             self._handle.flush()
             os.fsync(self._handle.fileno())
             os._exit(action.exit_code)
-        self._handle.write(data)
+        with obs.span("store.commit", index=index, bytes=len(data)):
+            self._handle.write(data)
+        obs.count("store.cells_committed")
+        obs.observe("store.commit_bytes", len(data))
 
     def flush(self) -> None:
         """Flush buffered appends and fsync them to disk (commit point)."""
@@ -365,12 +368,17 @@ class RunState:
         self._release_lock()
 
     def finalize(
-        self, cell_count: int, faults_record: Optional[Dict[str, Any]] = None
+        self,
+        cell_count: int,
+        faults_record: Optional[Dict[str, Any]] = None,
+        obs_record: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Mark the run complete: record cell count + cells.jsonl checksum.
 
-        ``faults_record`` (retries, backing demotions) lands in the
-        manifest only when non-empty, so fault-free manifests are
+        ``faults_record`` (retries, backing demotions) and ``obs_record``
+        (the deterministic metrics delta of this invocation, see
+        :func:`repro.obs.deterministic_delta`) land in the manifest only
+        when non-empty, so fault-free uninstrumented manifests are
         byte-identical to pre-chaos ones.
         """
         self._close_handle()
@@ -389,6 +397,8 @@ class RunState:
         }
         if faults_record:
             self.manifest["faults"] = dict(faults_record)
+        if obs_record:
+            self.manifest["obs"] = dict(obs_record)
         _write_atomic(self.manifest_path, json.dumps(self.manifest, indent=1) + "\n")
         self._release_lock()  # finalize is terminal; the run is reopenable
 
@@ -400,7 +410,7 @@ class RunState:
         self.manifest = {
             key: value
             for key, value in self.manifest.items()
-            if key not in ("complete", "cells", "cells_sha256", "faults")
+            if key not in ("complete", "cells", "cells_sha256", "faults", "obs")
         }
         self.manifest["complete"] = False
         _write_atomic(self.manifest_path, json.dumps(self.manifest, indent=1) + "\n")

@@ -28,6 +28,7 @@ import signal
 import time
 from typing import Any, Dict, Mapping, Optional
 
+from repro import obs
 from repro.faults.plan import FaultPlan, FaultRule
 
 _EXIT_CRASH = 134  # simulated abort(); distinguishable from python errors
@@ -153,6 +154,10 @@ def inject(site: str, **context: Any) -> Optional[TornWrite]:
         ) >= rule.prob:
             continue
         _fired[index] = _fired.get(index, 0) + 1
+        obs.count("faults.injected")
+        obs.record_event(
+            "faults.injected", site=site, kind=rule.kind, rule=index, hit=hit
+        )
         return _act(rule, index, site, hit, context, plan.seed)
     return None
 

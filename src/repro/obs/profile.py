@@ -1,0 +1,78 @@
+"""Sampling-free deterministic profiler over exported span trees.
+
+No signals, no timers: the profile is a pure aggregation of the span
+records :mod:`repro.obs.trace` already produced, so the same trace file
+always yields the same table. Per span, *self* time is its duration
+minus the summed durations of its direct children (clamped at zero —
+clock granularity can make children appear to exceed the parent); *cum*
+time is the plain duration. Aggregating by span name gives the classic
+self/cumulative table. Note that nested same-name spans each contribute
+their full duration to ``cum``, the usual recursive-profile caveat.
+
+Parent links are only meaningful within one process, so records are
+keyed by ``(pid, seq)`` — traces merged from a sharded run profile
+correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.util.tables import TextTable
+
+__all__ = ["build_profile", "render_profile"]
+
+
+def build_profile(records: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate span records into per-name self/cum rows (self-desc order)."""
+    child_time: Dict[tuple, float] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None:
+            key = (record["pid"], parent)
+            child_time[key] = child_time.get(key, 0.0) + record["dur"]
+    rows: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        own = max(
+            0.0,
+            record["dur"] - child_time.get((record["pid"], record["seq"]), 0.0),
+        )
+        row = rows.get(record["name"])
+        if row is None:
+            row = {
+                "name": record["name"],
+                "calls": 0,
+                "self": 0.0,
+                "cum": 0.0,
+                "min": record["dur"],
+                "max": record["dur"],
+            }
+            rows[record["name"]] = row
+        row["calls"] += 1
+        row["self"] += own
+        row["cum"] += record["dur"]
+        row["min"] = min(row["min"], record["dur"])
+        row["max"] = max(row["max"], record["dur"])
+    return sorted(
+        rows.values(), key=lambda row: (-row["self"], row["name"])
+    )
+
+
+def render_profile(rows: Sequence[Mapping[str, Any]]) -> str:
+    """The text table for :func:`build_profile` output."""
+    table = TextTable(
+        ["span", "calls", "self s", "cum s", "min s", "max s"],
+        title="deterministic profile (self time, descending)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["name"],
+                row["calls"],
+                f"{row['self']:.4f}",
+                f"{row['cum']:.4f}",
+                f"{row['min']:.4f}",
+                f"{row['max']:.4f}",
+            ]
+        )
+    return table.render()

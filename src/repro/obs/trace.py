@@ -1,0 +1,191 @@
+"""Nestable timing spans: in-memory ring buffer + JSONL exporter.
+
+A *span* wraps one unit of work — a kernel dispatch, an engine attack, a
+shard run, a sim strike, a store commit, a native compile — and records
+its wall-clock duration together with its position in the call tree
+(sequence id, parent id, nesting depth). Spans are:
+
+* **free when off** — :func:`span` returns a shared no-op context
+  manager unless a trace path is configured, so instrumented hot paths
+  pay one env lookup;
+* **nestable per thread** — each thread keeps its own span stack, so
+  parent/depth links are always well formed;
+* **fork-safe** — records carry the recording pid, a child process
+  starts with a cleared stack and ring (the at-fork hook), and the JSONL
+  exporter writes each record as a single ``O_APPEND`` write so parent
+  and worker lines interleave without tearing;
+* **deterministic in everything except time** — names, attributes,
+  parent links and counts are functions of the work; only ``ts`` and
+  ``dur`` carry wall-clock.
+
+Export: set ``REPRO_TRACE=<path>`` (or call :func:`configure_trace`)
+and every finished span appends one JSON line; ``repro stats <path>``
+validates and aggregates them (:mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "span",
+    "trace_enabled",
+    "trace_path",
+    "configure_trace",
+    "reset_trace",
+    "trace_spans",
+    "clear_trace",
+    "TRACE_RING_CAP",
+]
+
+#: Finished spans retained in memory (newest win; JSONL export is unbounded).
+TRACE_RING_CAP = 4096
+
+_RING: "deque[Dict[str, Any]]" = deque(maxlen=TRACE_RING_CAP)
+_seq = itertools.count(1)
+_tls = threading.local()
+_override_path: Optional[str] = None
+_override_set = False
+_fd: Optional[int] = None
+_fd_path: Optional[str] = None
+_fd_lock = threading.Lock()
+
+
+def trace_path() -> Optional[str]:
+    """The active JSONL export path (None = tracing off)."""
+    if _override_set:
+        return _override_path or None
+    return os.environ.get("REPRO_TRACE") or None
+
+
+def trace_enabled() -> bool:
+    return trace_path() is not None
+
+
+def configure_trace(path: Optional[str]) -> None:
+    """Pin the export path (None = explicitly off), overriding the env."""
+    global _override_path, _override_set
+    _override_path, _override_set = path, True
+
+
+def reset_trace() -> None:
+    """Drop any override (``REPRO_TRACE`` rules again) and clear the ring."""
+    global _override_path, _override_set
+    _override_path, _override_set = None, False
+    clear_trace()
+
+
+def trace_spans() -> List[Dict[str, Any]]:
+    """The retained finished spans, oldest first."""
+    return [dict(record) for record in _RING]
+
+
+def clear_trace() -> None:
+    """Empty the in-memory ring (the JSONL file is never touched)."""
+    _RING.clear()
+
+
+def _stack() -> List["_Span"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def _export(record: Dict[str, Any]) -> None:
+    """Append one record to the JSONL file as a single atomic write."""
+    global _fd, _fd_path
+    path = trace_path()
+    if path is None:
+        return
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    with _fd_lock:
+        if _fd is None or _fd_path != path:
+            if _fd is not None:
+                os.close(_fd)
+            _fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+            _fd_path = path
+        os.write(_fd, line.encode("utf-8"))
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "seq", "parent", "depth", "_ts", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        stack = _stack()
+        self.parent = stack[-1].seq if stack else None
+        self.depth = len(stack)
+        self.seq = next(_seq)
+        stack.append(self)
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "name": self.name,
+            "ts": round(self._ts, 6),
+            "dur": round(duration, 9),
+            "pid": os.getpid(),
+            "seq": self.seq,
+            "parent": self.parent,
+            "depth": self.depth,
+            "attrs": self.attrs,
+        }
+        _RING.append(record)
+        _export(record)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one unit of work (no-op when tracing is off).
+
+    ``attrs`` must be JSON-serializable (ints, strings) — they land
+    verbatim in the exported record.
+    """
+    if trace_path() is None:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def _after_fork_in_child() -> None:
+    # The child owns none of the parent's in-flight spans: fresh stack,
+    # empty ring. The export fd stays valid (O_APPEND interleaves safely)
+    # and records carry the child's pid.
+    global _tls
+    _tls = threading.local()
+    _RING.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX targets
+    os.register_at_fork(after_in_child=_after_fork_in_child)

@@ -37,6 +37,7 @@ import time as _time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.cluster.failures import WorstCaseInjector
 from repro.cluster.metrics import LoadStats
@@ -185,11 +186,14 @@ class LifetimeSimulator:
 
     def run(self) -> SimReport:
         start = _time.perf_counter()
+        handled_before = self._handled
         while self._queue and self._handled < self.config.events:
             now, event = self._queue.pop()
             self._handled += 1
             counted_kind = self._dispatch(now, event)
             self._report.count_event(counted_kind.value)
+        if self._handled > handled_before:
+            obs.count("sim.events", self._handled - handled_before)
         self._report.events = self._handled
         self._report.end_time = self._queue.now
         self._report.wall_seconds = _time.perf_counter() - start
@@ -327,6 +331,12 @@ class LifetimeSimulator:
         else:
             self.injector.engine = None  # snapshot + fingerprint per strike
         nodes = self._select_strike(process.k)
+        obs.count("sim.strikes")
+        obs.count(
+            "sim.strikes.delta"
+            if self.config.engine_mode == "delta"
+            else "sim.strikes.rebuild"
+        )
         attack = self.injector.last_result
         self._warm = attack.nodes
         for node in nodes:
@@ -355,12 +365,18 @@ class LifetimeSimulator:
 
         last = None
         for attempt in range(4):
+            mark = obs.checkpoint()
             try:
                 faults.inject("sim.strike", k=k, attempt=attempt)
-                return self.injector.select(
-                    self.cluster, k, self.rule, warm_start=self._warm
-                )
+                with obs.span("sim.strike", k=k):
+                    return self.injector.select(
+                        self.cluster, k, self.rule, warm_start=self._warm
+                    )
             except faults.InjectedFault as exc:
+                # A retried strike re-records its work; drop the failed
+                # attempt's gated recordings so totals stay invariant
+                # under chaos retries that succeed.
+                obs.rollback(mark)
                 last = exc
         raise last
 

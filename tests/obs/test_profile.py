@@ -1,0 +1,75 @@
+"""The deterministic profiler: pure aggregation over span records."""
+
+from repro.obs.profile import build_profile, render_profile
+
+
+def _span(name, dur, pid=1, seq=0, parent=None, depth=0):
+    return {
+        "name": name,
+        "ts": 0.0,
+        "dur": dur,
+        "pid": pid,
+        "seq": seq,
+        "parent": parent,
+        "depth": depth,
+        "attrs": {},
+    }
+
+
+class TestBuildProfile:
+    def test_self_excludes_direct_children(self):
+        records = [
+            _span("engine.attack", 0.2, seq=2, parent=1, depth=1),
+            _span("engine.attack", 0.3, seq=3, parent=1, depth=1),
+            _span("runner.shard", 1.0, seq=1),
+        ]
+        rows = build_profile(records)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["runner.shard"]["self"] == 0.5
+        assert by_name["runner.shard"]["cum"] == 1.0
+        assert by_name["engine.attack"]["calls"] == 2
+        assert by_name["engine.attack"]["self"] == 0.5
+        assert by_name["engine.attack"]["min"] == 0.2
+        assert by_name["engine.attack"]["max"] == 0.3
+
+    def test_sorted_by_self_descending(self):
+        records = [
+            _span("a.small", 0.1, seq=1),
+            _span("b.big", 0.9, seq=2),
+        ]
+        rows = build_profile(records)
+        assert [row["name"] for row in rows] == ["b.big", "a.small"]
+
+    def test_self_clamped_at_zero(self):
+        # Clock granularity can make children sum past the parent.
+        records = [
+            _span("store.commit", 0.6, seq=2, parent=1, depth=1),
+            _span("store.commit", 0.6, seq=3, parent=1, depth=1),
+            _span("runner.shard", 1.0, seq=1),
+        ]
+        by_name = {row["name"]: row for row in build_profile(records)}
+        assert by_name["runner.shard"]["self"] == 0.0
+
+    def test_parent_links_scoped_by_pid(self):
+        # seq collides across processes; pid keeps the trees apart.
+        records = [
+            _span("runner.shard", 1.0, pid=10, seq=1),
+            _span("engine.attack", 0.4, pid=10, seq=2, parent=1, depth=1),
+            _span("runner.shard", 2.0, pid=20, seq=1),
+            _span("engine.attack", 0.5, pid=20, seq=2, parent=1, depth=1),
+        ]
+        by_name = {row["name"]: row for row in build_profile(records)}
+        assert by_name["runner.shard"]["self"] == (1.0 - 0.4) + (2.0 - 0.5)
+        assert by_name["engine.attack"]["cum"] == 0.9
+
+    def test_empty_trace(self):
+        assert build_profile([]) == []
+
+
+class TestRenderProfile:
+    def test_renders_table(self):
+        rows = build_profile([_span("engine.attack", 0.25, seq=1)])
+        text = render_profile(rows)
+        assert "deterministic profile" in text
+        assert "engine.attack" in text
+        assert "0.2500" in text

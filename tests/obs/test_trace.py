@@ -1,0 +1,102 @@
+"""Span tracing: gating, nesting, the ring, and the JSONL exporter."""
+
+import json
+import threading
+
+from repro import obs
+from repro.obs.report import load_trace, validate_span
+
+
+class TestGating:
+    def test_off_by_default_returns_shared_noop(self):
+        assert not obs.trace_enabled()
+        a = obs.span("engine.attack", k=1)
+        b = obs.span("store.commit")
+        assert a is b  # the shared no-op: zero allocation when off
+        with a:
+            pass
+        assert obs.trace_spans() == []
+
+    def test_env_enables(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", path)
+        assert obs.trace_enabled()
+        assert obs.trace_path() == path
+
+    def test_configure_overrides_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "env.jsonl"))
+        obs.configure_trace(None)
+        assert not obs.trace_enabled()
+        obs.reset_trace()
+        assert obs.trace_enabled()
+
+
+class TestSpans:
+    def test_nesting_parent_depth(self, tmp_path):
+        obs.configure_trace(str(tmp_path / "t.jsonl"))
+        with obs.span("runner.shard", start=0):
+            with obs.span("engine.attack", k=2):
+                pass
+            with obs.span("engine.attack", k=3):
+                pass
+        outer_last = obs.trace_spans()
+        names = [r["name"] for r in outer_last]
+        # Children finish (and record) before their parent.
+        assert names == ["engine.attack", "engine.attack", "runner.shard"]
+        shard = outer_last[2]
+        assert shard["parent"] is None and shard["depth"] == 0
+        for child in outer_last[:2]:
+            assert child["parent"] == shard["seq"]
+            assert child["depth"] == 1
+        assert outer_last[0]["attrs"] == {"k": 2}
+        for record in outer_last:
+            validate_span(record)
+
+    def test_exporter_writes_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure_trace(path)
+        with obs.span("store.commit", index=4, bytes=128):
+            pass
+        records = load_trace(path)
+        assert len(records) == 1
+        assert records[0]["name"] == "store.commit"
+        assert records[0]["attrs"] == {"index": 4, "bytes": 128}
+        # One JSON object per line, compact separators.
+        with open(path, encoding="utf-8") as handle:
+            line = handle.readline()
+        assert json.loads(line)["name"] == "store.commit"
+
+    def test_ring_is_bounded(self, tmp_path):
+        obs.configure_trace(str(tmp_path / "t.jsonl"))
+        for _ in range(obs.TRACE_RING_CAP + 10):
+            with obs.span("sim.strike", k=1):
+                pass
+        assert len(obs.trace_spans()) == obs.TRACE_RING_CAP
+
+    def test_threads_have_independent_stacks(self, tmp_path):
+        obs.configure_trace(str(tmp_path / "t.jsonl"))
+        done = threading.Event()
+        results = {}
+
+        def worker():
+            with obs.span("engine.attack", k=9) as inner:
+                results["depth"] = inner.depth
+            done.set()
+
+        with obs.span("runner.shard", start=0):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            done.wait(5)
+            thread.join(5)
+        # The worker's span is a root in its own thread, not a child of
+        # the main thread's open shard span.
+        assert results["depth"] == 0
+
+    def test_clear_trace_empties_ring_not_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure_trace(path)
+        with obs.span("native.compile"):
+            pass
+        obs.clear_trace()
+        assert obs.trace_spans() == []
+        assert len(load_trace(path)) == 1
