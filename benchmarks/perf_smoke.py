@@ -248,6 +248,80 @@ def exp_shard_gate(report: dict) -> int:
     return 0
 
 
+#: Affinity-pool gate: the persistent pool replaces fork-per-shard, so a
+#: modest fixed allowance (worker spawns happen once) plus a ratio the
+#: pool must stay under relative to the fork baseline on hosts where the
+#: two mechanisms genuinely differ (>= 2 cores). Single-core runners only
+#: check bit-identity — there the comparison measures scheduler noise.
+POOL_OVERHEAD_SECONDS = 0.75
+POOL_MULTI_CORE_RATIO = 1.10
+
+
+def affinity_pool_gate(report: dict) -> int:
+    import os
+
+    from repro.analysis import fig2
+    from repro.core.batch import clear_attack_caches
+    from repro.exp.registry import kernel as experiment_kernel
+    from repro.exp.runner import (
+        _contiguous_groups,
+        _run_sharded_forked,
+        _run_sharded_pool,
+    )
+
+    spec = fig2.default_spec(b_values=(600, 1200), s_values=(2, 3), k_max=4)
+    definition = experiment_kernel(spec.experiment)
+    cells = [dict(cell) for cell in definition.expand(spec)]
+    groups = _contiguous_groups(spec, definition, cells)
+
+    def dispatch(run):
+        metrics = [None] * len(cells)
+
+        def flush(group, chunk):
+            for offset, entry in enumerate(chunk):
+                metrics[group.start + offset] = entry
+
+        clear_attack_caches()
+        start = time.perf_counter()
+        run(spec, definition, cells, groups, 2, flush)
+        return time.perf_counter() - start, json.loads(json.dumps(metrics))
+
+    fork_seconds, fork_metrics = dispatch(_run_sharded_forked)
+    pool_seconds, pool_metrics = dispatch(_run_sharded_pool)
+    cores = os.cpu_count() or 1
+    gated = cores >= 2
+    budget = (
+        fork_seconds * POOL_MULTI_CORE_RATIO + POOL_OVERHEAD_SECONDS
+        if gated else None
+    )
+    report["affinity_pool"] = {
+        "experiment": spec.experiment,
+        "cells": len(cells),
+        "shards": len(groups),
+        "cpu_count": cores,
+        "fork_seconds": round(fork_seconds, 4),
+        "pool_seconds": round(pool_seconds, 4),
+        "budget_seconds": round(budget, 4) if gated else None,
+        "wall_clock_gated": gated,
+        "bit_identical": fork_metrics == pool_metrics,
+    }
+    if fork_metrics != pool_metrics:
+        print(
+            "FAIL: affinity pool results diverged from the fork baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if gated and pool_seconds > budget:
+        print(
+            f"FAIL: affinity pool took {pool_seconds:.3f}s vs "
+            f"{fork_seconds:.3f}s fork baseline (budget {budget:.3f}s, "
+            f"{cores} cores)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main() -> int:
     placement = RandomStrategy(N, 3).place(B, random.Random(0))
     gain = make_kernel(placement, S, backend="gain")
@@ -276,6 +350,7 @@ def main() -> int:
     }
     status = placement_scale_gate(report)
     status = exp_shard_gate(report) or status
+    status = affinity_pool_gate(report) or status
     print(json.dumps(report))
     if gain_damages != python_damages:
         print("FAIL: gain engine and python kernel disagree", file=sys.stderr)

@@ -180,6 +180,9 @@ KERNELS = {
         assemble=_assemble,
         render=lambda result: result.render(),
         group_cost=lambda spec, key, cells: key[0] * len(cells),
+        # The placement depends only on b — (b, s) and (b, s') shards
+        # attack the same structure, so route them to one pool worker.
+        affinity=lambda spec, key, cells: key[0],
     )
 }
 

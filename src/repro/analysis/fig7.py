@@ -188,6 +188,10 @@ KERNELS = {
         assemble=_assemble,
         render=lambda result: result.render(),
         group_cost=lambda spec, key, cells: key[3] * len(cells),
+        # The placement is drawn from (n, r, b, rep) alone — shards that
+        # differ only in s attack the same structure; keep them on one
+        # pool worker so the engine cache serves every s.
+        affinity=lambda spec, key, cells: (key[0], key[1], key[3], key[4]),
     )
 }
 

@@ -16,6 +16,14 @@ Execution model:
   including 1. This is deliberately stronger than the pre-refactor
   figure loops, whose intra-grid chunking could drift under
   ``REPRO_WORKERS >= 2``;
+* sharded fan-out has two modes (``REPRO_SHARD_MODE``): the default
+  ``pool`` keeps one persistent supervised worker per slot and routes
+  shards by the kernel's *affinity* key, so a worker's process-local
+  engine cache serves every shard attacking the same placement instead
+  of being rebuilt fork after fork; ``fork`` is the
+  fresh-process-per-attempt fan-out. Both are supervised identically
+  (watchdog, bounded retries, degradation ladder) and both are
+  bit-identical to the serial run;
 * shards are scheduled longest-first (``group_cost`` hint) but
   **committed in expansion order**: a shard that finishes early parks in
   memory until every earlier shard has been flushed. The store therefore
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -86,6 +95,18 @@ def _env_shard_timeout() -> Optional[float]:
     if value <= 0:
         raise ValueError(f"REPRO_SHARD_TIMEOUT must be > 0, got {value}")
     return value
+
+
+def _env_shard_mode() -> str:
+    """``REPRO_SHARD_MODE``: ``pool`` (persistent workers) or ``fork``."""
+    raw = os.environ.get("REPRO_SHARD_MODE")
+    if raw is None or raw == "":
+        return "pool"
+    if raw not in ("pool", "fork"):
+        raise ValueError(
+            f"REPRO_SHARD_MODE must be 'pool' or 'fork', got {raw!r}"
+        )
+    return raw
 
 
 def _backoff_delay(spec_hash: str, start: int, attempt: int, previous: float) -> float:
@@ -344,6 +365,7 @@ def run_experiment(
     threads: Optional[int] = None,
     shard_timeout: Optional[float] = None,
     shard_retries: Optional[int] = None,
+    engine_state: Optional[str] = None,
 ) -> RunResult:
     """Run one spec: expand, serve the stored prefix, compute the rest.
 
@@ -362,16 +384,25 @@ def run_experiment(
     (workers, threads) combination — the kernel's threaded paths merge
     deterministically.
 
-    Sharded runs are *supervised*: each shard runs in its own forked
-    worker with a wall-clock watchdog (``shard_timeout`` /
-    ``REPRO_SHARD_TIMEOUT``; off by default) and up to ``shard_retries``
-    re-dispatches (``REPRO_SHARD_RETRIES``, default 2) under seeded
-    decorrelated-jitter backoff. A re-dispatched shard replays its whole
+    Sharded runs are *supervised*: shards run on a persistent
+    affinity-routed worker pool (``REPRO_SHARD_MODE=fork`` restores the
+    fork-per-attempt fan-out) with a wall-clock watchdog
+    (``shard_timeout`` / ``REPRO_SHARD_TIMEOUT``; off by default) and up
+    to ``shard_retries`` re-dispatches (``REPRO_SHARD_RETRIES``, default
+    2) under seeded decorrelated-jitter backoff. A re-dispatched shard replays its whole
     incumbent chain from the spec, so retried results are bit-identical
     to fault-free ones; repeated watchdog faults demote the auto gain
     backing one ladder rung (recorded in the run metadata).
+
+    ``engine_state`` points the run at a directory of engine-state
+    snapshots (:func:`repro.core.batch.configure_engine_state_dir`):
+    workers hydrate cache-missed engines from
+    ``<dir>/<fingerprint>.npz`` and persist their cold builds there, so
+    repeated runs over one placement lineage skip the engine build.
+    Purely a performance lever — results are bit-identical with or
+    without it.
     """
-    from repro.core import kernels, native
+    from repro.core import batch, kernels, native
 
     started = time.perf_counter()
     run_mark = obs.checkpoint()
@@ -401,6 +432,12 @@ def run_experiment(
     if isinstance(store, str):
         store = RunStore(store)
     state: Optional[RunState] = None
+    previous_state_dir = batch.engine_state_dir()
+    if engine_state is not None:
+        # Configured before any worker forks, so shard workers inherit
+        # the warm path; restored afterwards so one run's sidecar never
+        # leaks into the next caller's process state.
+        batch.configure_engine_state_dir(engine_state)
     try:
         prefix = 0
         if store is not None:
@@ -490,6 +527,8 @@ def run_experiment(
         if state is not None and complete and not state.complete:
             state.finalize(len(cells), faults_record or None, obs_record)
     finally:
+        if engine_state is not None:
+            batch.configure_engine_state_dir(previous_state_dir)
         if state is not None:
             state.close()
 
@@ -571,9 +610,30 @@ class _Slot:
 
 def _run_sharded(
     spec, kernel, cells, pending, workers, flush, threads=None,
-    shard_timeout=None, shard_retries=2,
+    shard_timeout=None, shard_retries=2, mode=None,
 ) -> int:
     """Supervised shard fan-out; commit in expansion order. Returns retries.
+
+    Dispatches on ``mode`` (default: ``REPRO_SHARD_MODE``, ``pool`` when
+    unset): ``pool`` runs shards on a persistent affinity-routed worker
+    pool (:func:`_run_sharded_pool`), ``fork`` forks one fresh process
+    per shard attempt (:func:`_run_sharded_forked`). Results are
+    bit-identical either way; only the process economics differ.
+    """
+    if mode is None:
+        mode = _env_shard_mode()
+    run = _run_sharded_forked if mode == "fork" else _run_sharded_pool
+    return run(
+        spec, kernel, cells, pending, workers, flush, threads,
+        shard_timeout, shard_retries,
+    )
+
+
+def _run_sharded_forked(
+    spec, kernel, cells, pending, workers, flush, threads=None,
+    shard_timeout=None, shard_retries=2,
+) -> int:
+    """Fork-per-attempt shard fan-out; commit in expansion order.
 
     Each pending shard runs in its own forked worker process (fresh fork
     per attempt, so re-dispatches inherit supervisor-side state such as
@@ -744,6 +804,368 @@ def _run_sharded(
                 slot.proc.join(timeout=5)
         queue.close()
         queue.cancel_join_thread()
+    return retries
+
+
+def _bind_to_supervisor() -> None:
+    """Die with the supervisor instead of orphaning the pool worker.
+
+    A torn-write fault (or plain SIGKILL) takes the supervisor out
+    without unwinding the pool; a persistent worker blocked on its task
+    queue would then outlive it holding inherited fds — the run-store
+    lock and any pipes the caller captured — wedging every resume.
+    ``PR_SET_PDEATHSIG`` delivers SIGTERM the instant the parent dies
+    (Linux); elsewhere the worker's queue-timeout loop falls back to
+    polling ``os.getppid``.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGTERM)  # PR_SET_PDEATHSIG
+    except (OSError, AttributeError, TypeError):  # pragma: no cover
+        pass
+
+
+def _pool_worker(
+    spec_json: str,
+    thread_budget: int,
+    demotions: Sequence[Tuple[str, str]],
+    task_queue: Any,
+    result_queue: Any,
+) -> None:
+    """Persistent pool worker: loop shards off the slot queue until told.
+
+    One boot (thread budget, inherited demotions, kernel resolution)
+    amortizes over every shard the supervisor routes here, and the
+    process-local engine cache (:mod:`repro.core.batch`, bounded by
+    ``REPRO_ENGINE_CACHE``) survives between shards — that is the whole
+    point of affinity routing. Each task posts one
+    ``(ordinal, attempt, status, payload)`` message; a failed attempt
+    rolls its gated recordings back (the retry re-records the work,
+    wherever it runs) and the worker keeps serving, so one injected
+    error never costs a warm cache. ``None`` is the shutdown sentinel;
+    a crash or watchdog kill is detected by the supervisor's liveness
+    sweep instead.
+    """
+    from queue import Empty
+
+    from repro.core import kernels, native
+
+    try:
+        _bind_to_supervisor()
+        native.configure_threads(thread_budget)
+        for backing, reason in demotions:
+            try:
+                kernels.demote_backing(backing, reason)
+            except ValueError:
+                pass
+        spec = ExperimentSpec.from_dict(json.loads(spec_json))
+        kernel = registry.kernel(spec.experiment)
+    except BaseException:  # noqa: BLE001 - liveness sweep reports the death
+        os._exit(70)
+    parent = os.getppid()
+    while True:
+        try:
+            task = task_queue.get(timeout=0.5)
+        except Empty:
+            if os.getppid() != parent:  # pragma: no cover - non-Linux path
+                os._exit(0)  # orphaned: PDEATHSIG was unavailable
+            continue
+        if task is None:
+            os._exit(0)
+        ordinal, attempt, start, task_cells = task
+        mark = obs.checkpoint()
+        try:
+            faults.inject(
+                "runner.shard_start", start=start, ordinal=ordinal,
+                attempt=attempt, mode="shard",
+            )
+            with obs.span(
+                "runner.shard", start=start, ordinal=ordinal,
+                attempt=attempt, mode="shard",
+            ):
+                chunk = list(kernel.run_group(spec, task_cells))
+            message = (ordinal, attempt, "ok", (chunk, obs.delta_since(mark)))
+        except BaseException as exc:  # noqa: BLE001 - reported, then retried
+            obs.rollback(mark)
+            message = (
+                ordinal, attempt, "error", f"{type(exc).__name__}: {exc}"
+            )
+        try:
+            result_queue.put(message)
+        except BaseException:  # noqa: BLE001 - dead pipe: let the sweep act
+            os._exit(70)
+
+
+class _PoolSlot:
+    """Supervision state for one persistent pool worker and its queue."""
+
+    __slots__ = (
+        "proc", "task_queue", "work", "current", "deadline", "reap_at",
+        "epoch",
+    )
+
+    def __init__(self, work):
+        self.proc = None
+        self.task_queue = None
+        self.work = list(work)  # ordinals, dispatch order; retries jump in
+        self.current = None  # (ordinal, attempt) while a task is in flight
+        self.deadline = None
+        self.reap_at = None
+        self.epoch = -1
+
+
+def _affinity_plan(spec, kernel, cells, pending, slots) -> List[List[int]]:
+    """Deterministic affinity-grouped LPT assignment of shards to slots.
+
+    Shards sharing an affinity key (the group key when the kernel
+    declares none) form one *class*; classes are placed whole, heaviest
+    first, onto the least-loaded slot (ties: lowest slot), so every
+    shard attacking one placement lands on one worker and hits its
+    engine cache. Within a slot classes keep their placement order and
+    each class runs its own shards longest-first — the fork scheduler's
+    LPT instinct, applied per worker. The plan depends only on
+    (spec, kernel, cells), never on timing, so the shard->worker map is
+    reproducible run to run and crash to crash.
+    """
+    costs = [_group_cost(spec, kernel, group, cells) for group in pending]
+    classes: Dict[Any, List[int]] = {}
+    class_order: List[Any] = []
+    for ordinal, group in enumerate(pending):
+        if kernel.affinity is not None:
+            key = kernel.affinity(
+                spec, group.key, cells[group.start:group.end]
+            )
+        else:
+            key = group.key
+        if key not in classes:
+            classes[key] = []
+            class_order.append(key)
+        classes[key].append(ordinal)
+    ranked = sorted(
+        class_order,
+        key=lambda key: (
+            -sum(costs[o] for o in classes[key]), classes[key][0],
+        ),
+    )
+    buckets: List[List[int]] = [[] for _ in range(slots)]
+    loads = [0.0] * slots
+    for key in ranked:
+        members = classes[key]
+        slot = min(range(slots), key=lambda i: (loads[i], i))
+        buckets[slot].extend(sorted(members, key=lambda o: (-costs[o], o)))
+        loads[slot] += sum(costs[o] for o in members)
+    return [bucket for bucket in buckets if bucket]
+
+
+def _run_sharded_pool(
+    spec, kernel, cells, pending, workers, flush, threads=None,
+    shard_timeout=None, shard_retries=2,
+) -> int:
+    """Persistent-pool shard fan-out; commit in expansion order.
+
+    One supervised worker process per slot lives for the whole run and
+    computes every shard routed to it, so the per-shard fixed cost
+    drops from fork + engine rebuild to a queue hop — and because
+    :func:`_affinity_plan` groups shards by the kernel's affinity key,
+    a worker's process-local engine cache serves every shard that
+    attacks the same placement. Supervision matches the forked runner
+    failure for failure: the same watchdog, the same silent-death
+    sweep, the same bounded retries under seeded backoff, the same
+    demotion ladder. A failed worker is replaced in place — fresh fork,
+    fresh task queue, same slot — and its shard retries at the front of
+    that slot's queue, so the deterministic shard->worker map survives
+    any crash schedule. Demotions bump an epoch; idle workers older
+    than the current epoch are refreshed before their next task, so
+    re-dispatched shards inherit the demoted ladder exactly as freshly
+    forked workers would.
+    """
+    import multiprocessing
+    from queue import Empty
+
+    from repro.core import kernels, native
+
+    spec_json = json.dumps(spec.to_dict())
+    spec_hash = spec.spec_hash()
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    processes = min(workers, len(pending))
+    budget = threads if threads is not None else native.thread_count()
+    per_worker = max(1, budget // processes)
+
+    result_queue = context.Queue()
+    slots = [
+        _PoolSlot(bucket)
+        for bucket in _affinity_plan(spec, kernel, cells, pending, processes)
+    ]
+    slot_of = {
+        ordinal: index
+        for index, slot in enumerate(slots)
+        for ordinal in slot.work
+    }
+    finished: Dict[int, Any] = {}
+    attempts: Dict[int, int] = {}
+    delays: Dict[int, float] = {}
+    blocked: List[Tuple[float, int]] = []  # (not-before, ordinal) backoffs
+    next_flush = 0
+    retries = 0
+    epoch = 0
+
+    def spawn(slot: _PoolSlot) -> None:
+        slot.task_queue = context.Queue()
+        slot.proc = context.Process(
+            target=_pool_worker,
+            args=(
+                spec_json, per_worker,
+                sorted(kernels.demoted_backings().items()),
+                slot.task_queue, result_queue,
+            ),
+            daemon=True,
+        )
+        slot.proc.start()
+        slot.epoch = epoch
+        slot.current = None
+        slot.deadline = None
+        slot.reap_at = None
+
+    def respawn(slot: _PoolSlot) -> None:
+        if slot.proc.is_alive():
+            slot.proc.kill()
+        slot.proc.join()
+        slot.task_queue.close()
+        slot.task_queue.cancel_join_thread()
+        spawn(slot)
+
+    def dispatch(slot: _PoolSlot) -> None:
+        ordinal = slot.work.pop(0)
+        group = pending[ordinal]
+        attempt = attempts.get(ordinal, 0)
+        slot.task_queue.put(
+            (ordinal, attempt, group.start, cells[group.start:group.end])
+        )
+        slot.current = (ordinal, attempt)
+        slot.deadline = (
+            time.monotonic() + shard_timeout
+            if shard_timeout is not None else None
+        )
+        slot.reap_at = None
+
+    def fail(ordinal: int, reason: str, watchdog: bool) -> None:
+        nonlocal retries, epoch
+        group = pending[ordinal]
+        count = attempts.get(ordinal, 0) + 1
+        attempts[ordinal] = count
+        if count > shard_retries:
+            raise ExperimentError(
+                f"shard at cells[{group.start}:{group.end}] of "
+                f"{spec.experiment!r} failed after {count} attempts: {reason}"
+            )
+        retries += 1
+        obs.count("runner.shard_retries")
+        obs.record_event(
+            "runner.shard_retry", start=group.start, attempt=count,
+            reason=reason, watchdog=watchdog,
+        )
+        if watchdog and count >= 2:
+            demoted = _demote_after_watchdog(
+                f"shard at cells[{group.start}:{group.end}]: {reason}"
+            )
+            if demoted is not None:
+                epoch += 1  # stale idle workers refresh before the next task
+        delay = _backoff_delay(
+            spec_hash, group.start, count, delays.get(ordinal, _BACKOFF_BASE)
+        )
+        delays[ordinal] = delay
+        blocked.append((time.monotonic() + delay, ordinal))
+
+    try:
+        for slot in slots:
+            spawn(slot)
+        while next_flush < len(pending):
+            now = time.monotonic()
+            for entry in list(blocked):
+                if entry[0] <= now:
+                    blocked.remove(entry)
+                    # The retry jumps its slot's queue: same worker, next.
+                    slots[slot_of[entry[1]]].work.insert(0, entry[1])
+            for slot in slots:
+                if slot.current is None and slot.work:
+                    if slot.epoch != epoch or not slot.proc.is_alive():
+                        respawn(slot)
+                    dispatch(slot)
+            if blocked and all(slot.current is None for slot in slots):
+                # Everything runnable is backing off; sleep toward the
+                # earliest retry instead of spinning.
+                wake = min(entry[0] for entry in blocked)
+                time.sleep(max(0.0, min(wake - time.monotonic(), _BACKOFF_CAP)))
+                continue
+            try:
+                message = result_queue.get(timeout=0.05)
+            except Empty:
+                message = None
+            if message is not None:
+                ordinal, attempt, status, payload = message
+                slot = slots[slot_of[ordinal]]
+                if slot.current == (ordinal, attempt):
+                    slot.current = None
+                    slot.deadline = None
+                    slot.reap_at = None
+                    if status == "ok":
+                        chunk, delta = payload
+                        # Merge only successful attempts' recordings:
+                        # failed attempts rolled back worker-side, so
+                        # half-done work never skews the totals.
+                        obs.merge_delta(delta)
+                        finished[ordinal] = chunk
+                    else:
+                        fail(ordinal, payload, watchdog=False)
+                # else: stale message from a killed attempt — drop it.
+            now = time.monotonic()
+            for slot in slots:
+                if slot.current is None:
+                    continue
+                ordinal, _attempt = slot.current
+                if slot.deadline is not None and now >= slot.deadline:
+                    slot.current = None
+                    respawn(slot)  # kills the hung worker, fresh queue
+                    fail(
+                        ordinal,
+                        f"exceeded the {shard_timeout:.1f}s shard watchdog",
+                        watchdog=True,
+                    )
+                elif not slot.proc.is_alive():
+                    if slot.reap_at is None:
+                        slot.reap_at = now + _REAP_GRACE
+                    elif now >= slot.reap_at:
+                        code = slot.proc.exitcode
+                        slot.current = None
+                        respawn(slot)
+                        fail(
+                            ordinal,
+                            f"worker died without a result (exit code {code})",
+                            watchdog=True,
+                        )
+            while next_flush in finished:
+                flush(pending[next_flush], finished.pop(next_flush))
+                next_flush += 1
+    finally:
+        # Always reap every child — KeyboardInterrupt included — so an
+        # interrupted run releases the store lock with no orphan workers.
+        for slot in slots:
+            if slot.proc is not None and slot.proc.is_alive():
+                slot.proc.terminate()
+        for slot in slots:
+            if slot.proc is None:
+                continue
+            slot.proc.join(timeout=5)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(timeout=5)
+            slot.task_queue.close()
+            slot.task_queue.cancel_join_thread()
+        result_queue.close()
+        result_queue.cancel_join_thread()
     return retries
 
 

@@ -13,6 +13,7 @@ from repro.core.batch import (
     attack_grid,
     batch_attack,
     clear_attack_caches,
+    engine_cache_cap,
     engine_for,
     worker_count,
 )
@@ -234,6 +235,43 @@ class TestWarmEngine:
         clear_attack_caches()
         cold = batch_attack(placement, cells, seed=6)
         assert warm == warm_again == cold
+
+
+class TestEngineCacheCap:
+    def setup_method(self):
+        clear_attack_caches()
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_CACHE", raising=False)
+        assert engine_cache_cap() == 8
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", "3")
+        assert engine_cache_cap() == 3
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", "0")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_CACHE"):
+            engine_cache_cap()
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", "many")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_CACHE"):
+            engine_cache_cap()
+
+    def test_lru_eviction_detaches_the_oldest_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", "2")
+        oldest = engine_for(random_placement(10, 3, 20, 40))
+        engine_for(random_placement(10, 3, 22, 41))
+        assert attack_cache_stats()["engines"] == 2
+        engine_for(random_placement(10, 3, 24, 42))  # evicts `oldest`
+        assert attack_cache_stats()["engines"] == 2
+        # A detached engine is gone for good: the same structure now
+        # cold-builds a fresh engine instead of resurrecting the old one.
+        assert engine_for(oldest.placement) is not oldest
+
+    def test_cache_hit_refreshes_recency(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", "2")
+        keep = random_placement(10, 3, 20, 43)
+        warm = engine_for(keep)
+        engine_for(random_placement(10, 3, 22, 44))
+        engine_for(keep)  # refresh: `keep` is now most-recent
+        engine_for(random_placement(10, 3, 24, 45))  # evicts the middle one
+        assert engine_for(keep) is warm
 
 
 class TestWorkerKnob:
