@@ -57,14 +57,66 @@ semantics; the engines here always search when called directly.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core import native as _native
 from repro.core.kernels import DamageKernel, make_kernel
 from repro.core.placement import Placement
 from repro.util.combinatorics import binom
+
+# ------------------------- polish-lane budget -------------------------
+#
+# How many local-search polish chains may run concurrently on replicated
+# gain-state lanes (see DamageKernel.polish_chains). Resolution order:
+# explicit lanes= argument > configure_lanes() pin > REPRO_ATTACK_LANES >
+# "auto". Auto shares the native thread budget: the coarse lanes and the
+# fine-grained kernel sweeps draw from the same REPRO_NATIVE_THREADS pool,
+# so a host never ends up oversubscribed by default. Lanes are a pure
+# performance knob — results are bit-identical at any setting — which is
+# why they never join the attack memo key.
+
+_configured_lanes: Optional[int] = None
+
+
+def configure_lanes(count: Optional[int]) -> None:
+    """Pin the polish-lane budget (None restores the env/auto default).
+
+    Used by the sharded runners to split an explicit lane budget across
+    worker processes, mirroring ``native.configure_threads``.
+    """
+    global _configured_lanes
+    if count is not None and int(count) < 1:
+        raise ValueError(f"lanes must be >= 1, got {count}")
+    _configured_lanes = None if count is None else int(count)
+
+
+def configured_lanes() -> Optional[int]:
+    """The explicit configure_lanes() pin, if any (None = env default)."""
+    return _configured_lanes
+
+
+def attack_lanes(requested: Optional[int] = None) -> int:
+    """Resolve the lane budget: argument > pin > env > thread budget."""
+    if requested is not None:
+        if int(requested) < 1:
+            raise ValueError(f"lanes must be >= 1, got {requested}")
+        return int(requested)
+    if _configured_lanes is not None:
+        return _configured_lanes
+    env = os.environ.get("REPRO_ATTACK_LANES", "auto") or "auto"
+    if env == "auto":
+        return _native.thread_count()
+    try:
+        return max(1, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_ATTACK_LANES must be 'auto' or an integer >= 1, "
+            f"got {env!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -201,6 +253,16 @@ class LocalSearchAdversary:
     never on how many attacks the instance ran before (the old shared
     default generator made results call-order dependent). Passing ``rng``
     instead opts back into caller-managed generator state.
+
+    Parallelism: the polish chains (greedy, warm-start, every restart)
+    are independent, so they are submitted as one batch to the kernel's
+    replicated-state lanes (``polish_chains``), budgeted by ``lanes`` /
+    :func:`attack_lanes`. All restart seeds are pre-drawn in the exact
+    order the historical serial loop drew them — the chains consume no
+    randomness — so a caller-managed ``rng`` finishes in the same state,
+    and merging chain results in submission order with the same
+    strict-``>`` rule makes certificates (nodes, damage, evaluations)
+    bit-identical to the serial path at any lane count.
     """
 
     def __init__(
@@ -208,12 +270,16 @@ class LocalSearchAdversary:
         restarts: int = 4,
         rng: Optional[random.Random] = None,
         seed: int = 0,
+        lanes: Optional[int] = None,
     ) -> None:
         if restarts < 0:
             raise ValueError(f"restarts must be >= 0, got {restarts}")
+        if lanes is not None and lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
         self.restarts = restarts
         self.rng = rng
         self.seed = seed
+        self.lanes = lanes
 
     def attack(
         self,
@@ -225,43 +291,17 @@ class LocalSearchAdversary:
     ) -> AttackResult:
         model = _bind_kernel(placement, s, kernel)
         rng = self.rng if self.rng is not None else random.Random(self.seed)
+        lanes = attack_lanes(self.lanes)
         evaluations = 0
         counting = obs.metrics_enabled()
         # Semantic move counts, accumulated locally and flushed once at the
         # end. Counted here at the driver level — not inside the kernels —
-        # because the native backing fuses a whole polish pass into one
+        # because the native backing fuses whole polish chains into one
         # foreign call; the driver sees identical pass/position structure
         # on every backing, so these totals are bit-identical by design.
         node_adds = 0
         node_removes = 0
         swaps = 0
-
-        def polish(seed_nodes: List[int]) -> Tuple[Tuple[int, ...], int, int]:
-            # The hot loop, delegated sweep-by-sweep to the kernel: one
-            # polish_pass call runs try_swap at every position (a
-            # maintained banned set instead of a fresh n-element list per
-            # position; fused into a single foreign call on the native
-            # gain backing). Each position examines n - (k - 1) candidate
-            # additions; `spent` charges exactly that, identically for
-            # every backend.
-            nonlocal node_adds, node_removes, swaps
-            nodes = list(seed_nodes)
-            hits = model.hits_for(nodes)
-            current = model.damage_of(hits)
-            pass_cost = len(nodes) * (model.n - (len(nodes) - 1))
-            spent = 0
-            improved = True
-            while improved:
-                before = list(nodes) if counting else None
-                hits, current, improved = model.polish_pass(hits, nodes, current)
-                spent += pass_cost
-                if counting:
-                    # One pass removes and re-adds every position; a swap is
-                    # a position whose occupant changed.
-                    node_removes += len(nodes)
-                    node_adds += len(nodes)
-                    swaps += sum(1 for a, b in zip(before, nodes) if a != b)
-            return tuple(sorted(nodes)), current, spent
 
         def complete(seed_nodes: Sequence[int]) -> Tuple[List[int], int]:
             """Greedily extend a (possibly smaller) failure set to size k.
@@ -286,22 +326,35 @@ class LocalSearchAdversary:
 
         greedy = GreedyAdversary().attack(placement, k, s, kernel=model)
         evaluations += greedy.evaluations
-        best_nodes, best_damage, spent = polish(list(greedy.nodes))
-        evaluations += spent
+        seeds: List[List[int]] = [list(greedy.nodes)]
         if warm_start is not None:
             seeded, spent = complete(warm_start)
             evaluations += spent
-            nodes, dmg, spent = polish(seeded)
-            evaluations += spent
+            seeds.append(seeded)
+        # Pre-draw every restart seed. The chains consume no randomness,
+        # so the draw sequence — and a caller-managed generator's final
+        # state — is identical to the historical draw-inside-the-loop
+        # order, while freeing the chains to run on parallel lanes.
+        seeds.extend(rng.sample(range(model.n), k) for _ in range(self.restarts))
+        with obs.span("engine.restart_chain", chains=len(seeds), lanes=lanes):
+            chains = model.polish_chains(seeds, lanes=lanes)
+        # Each chain reports the sweeps it ran; one sweep removes and
+        # re-adds every position, examining n - (k - 1) candidates per
+        # position, identically on every backing and lane count.
+        pass_cost = k * (model.n - (k - 1))
+        best_nodes: Tuple[int, ...] = ()
+        best_damage = -1
+        for nodes, dmg, passes, chain_swaps in chains:
+            evaluations += passes * pass_cost
+            if counting:
+                node_removes += passes * k
+                node_adds += passes * k
+                swaps += chain_swaps
             if dmg > best_damage:
-                best_nodes, best_damage = nodes, dmg
-        for _ in range(self.restarts):
-            seed = rng.sample(range(model.n), k)
-            nodes, dmg, spent = polish(seed)
-            evaluations += spent
-            if dmg > best_damage:
-                best_nodes, best_damage = nodes, dmg
+                best_nodes, best_damage = tuple(sorted(nodes)), dmg
         if counting:
+            if self.restarts:
+                obs.count("attack.restarts", self.restarts)
             if node_adds:
                 obs.count("kernel.node_adds", node_adds)
             if node_removes:
@@ -329,10 +382,14 @@ class BranchAndBoundAdversary:
     """
 
     def __init__(
-        self, max_nodes: Optional[int] = 50_000_000, restarts: int = 2
+        self,
+        max_nodes: Optional[int] = 50_000_000,
+        restarts: int = 2,
+        lanes: Optional[int] = None,
     ) -> None:
         self.max_nodes = max_nodes
         self.restarts = restarts
+        self.lanes = lanes  # forwarded to the local-search incumbent
 
     def attack(
         self,
@@ -344,9 +401,9 @@ class BranchAndBoundAdversary:
     ) -> AttackResult:
         model = _bind_kernel(placement, s, kernel)
         n = model.n
-        incumbent = LocalSearchAdversary(restarts=self.restarts).attack(
-            placement, k, s, kernel=model, warm_start=warm_start
-        )
+        incumbent = LocalSearchAdversary(
+            restarts=self.restarts, lanes=self.lanes
+        ).attack(placement, k, s, kernel=model, warm_start=warm_start)
         best_damage = incumbent.damage
         best_nodes = incumbent.nodes
         evaluations = incumbent.evaluations
@@ -408,6 +465,7 @@ def best_attack(
     rng: Optional[random.Random] = None,
     kernel: Optional[DamageKernel] = None,
     warm_start: Optional[Sequence[int]] = None,
+    lanes: Optional[int] = None,
 ) -> AttackResult:
     """Convenience dispatcher over the adversary ladder.
 
@@ -420,23 +478,26 @@ def best_attack(
     ``kernel`` reuses a prebuilt damage kernel (incidence sharing across a
     grid of attacks); ``warm_start`` seeds the heuristic search with a
     known-good failure set, e.g. the result of the (k-1)-attack.
+    ``lanes`` bounds how many polish chains run concurrently (default:
+    :func:`attack_lanes` resolution) — a pure performance knob, results
+    are bit-identical at any value.
     """
     if effort == "fast":
-        result = LocalSearchAdversary(restarts=4, rng=rng).attack(
+        result = LocalSearchAdversary(restarts=4, rng=rng, lanes=lanes).attack(
             placement, k, s, kernel=kernel, warm_start=warm_start
         )
     elif effort == "exact":
-        result = BranchAndBoundAdversary(max_nodes=None).attack(
+        result = BranchAndBoundAdversary(max_nodes=None, lanes=lanes).attack(
             placement, k, s, kernel=kernel, warm_start=warm_start
         )
     elif effort == "auto":
         work = binom(placement.n, k) * placement.b
         if work <= 200_000_000:
-            result = BranchAndBoundAdversary(max_nodes=5_000_000).attack(
-                placement, k, s, kernel=kernel, warm_start=warm_start
-            )
+            result = BranchAndBoundAdversary(
+                max_nodes=5_000_000, lanes=lanes
+            ).attack(placement, k, s, kernel=kernel, warm_start=warm_start)
         else:
-            result = LocalSearchAdversary(restarts=8, rng=rng).attack(
+            result = LocalSearchAdversary(restarts=8, rng=rng, lanes=lanes).attack(
                 placement, k, s, kernel=kernel, warm_start=warm_start
             )
     else:

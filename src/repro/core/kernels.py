@@ -793,6 +793,47 @@ class DamageKernel:
                 banned.add(node)
         return hits, current, improved
 
+    def polish_chain(
+        self, seed_nodes: Sequence[int]
+    ) -> Tuple[List[int], int, int, int]:
+        """One whole polish-to-convergence chain from a seed failure set.
+
+        Builds fresh hit state for the seed (never touching any hits
+        object the caller holds), then repeats :meth:`polish_pass` until
+        a sweep lands no swap. Returns ``(nodes, damage, passes,
+        swaps)`` where ``passes`` counts every sweep (including the
+        final non-improving one — the evaluation charge the driver
+        reconstructs) and ``swaps`` the positions whose occupant
+        changed. A chain is a pure function of (kernel state, seed), so
+        chains commute: running them in any order, or on parallel
+        lanes, yields identical per-chain results.
+        """
+        nodes = list(seed_nodes)
+        hits = self.hits_for(nodes)
+        current = self.damage_of(hits)
+        passes = 0
+        swaps = 0
+        improved = True
+        while improved:
+            before = list(nodes)
+            hits, current, improved = self.polish_pass(hits, nodes, current)
+            passes += 1
+            swaps += sum(1 for a, b in zip(before, nodes) if a != b)
+        return nodes, current, passes, swaps
+
+    def polish_chains(
+        self, seeds: Sequence[Sequence[int]], lanes: int = 1
+    ) -> List[Tuple[List[int], int, int, int]]:
+        """Run one :meth:`polish_chain` per seed; results in seed order.
+
+        ``lanes`` is the concurrency budget. The generic implementation
+        runs the chains sequentially whatever the budget (chains commute,
+        so this is bit-identical); the native gain backing overrides it
+        to fan chains out across replicated-state lanes on the worker
+        pool in a single foreign call.
+        """
+        return [self.polish_chain(seed) for seed in seeds]
+
 
 class _BitsetHits:
     """Mutable bitset hit state: chosen nodes + saturating level masks."""
@@ -1436,6 +1477,11 @@ class _NativeGainKernel(GainKernel):
         self._swap = lib.gk_try_swap_mt
         self._pass = lib.gk_polish_pass_mt
         self._bound = lib.gk_optimistic_bound
+        self._chains = lib.gk_polish_chains_mt
+        self._lane_alloc = lib.gk_lane_alloc
+        self._lane_release = lib.gk_lane_free
+        self._lane_handle = None
+        self._lane_shape: Optional[Tuple[int, int, int]] = None
         self._banned = array("i", bytes(4 * self.n))
         self._banned_ptr = _native.i32_ptr(self._banned)
         self._out = array("i", [0])
@@ -1483,8 +1529,12 @@ class _NativeGainKernel(GainKernel):
         # usual delta leaves the exported pointers valid: only the model's
         # object count and the empty-state template need refreshing. A
         # replaced CSR (capacity overflow, first upgrade) re-exports.
+        # Lane replicas are sized by (b, n), so they are dropped either
+        # way: a chain launched after churn must clone the *current*
+        # state shape, never a stale pre-delta block.
         if not super().rebind():  # pragma: no cover - GainKernel returns True
             return False
+        self._drop_lanes()
         if self.incidence.csr() is not self._csr:
             self._bind_model()
         else:
@@ -1577,6 +1627,85 @@ class _NativeGainKernel(GainKernel):
             nodes[:] = final_nodes
             return hits, self._out[0], True
         return hits, current, False
+
+    def _drop_lanes(self) -> None:
+        """Free the lane block; the next chain batch reallocates."""
+        handle = getattr(self, "_lane_handle", None)
+        if handle:
+            self._lane_release(handle)
+        self._lane_handle = None
+        self._lane_shape = None
+
+    def _lane_set(self, width: int):
+        """A C lane block of `width` state replicas, cached per shape.
+
+        Keyed by (width, b, n): a delta-rebound shape change can shrink
+        or grow the packed-state footprint, so a stale block would be
+        read out of bounds — :meth:`rebind` also drops it eagerly.
+        """
+        shape = (width, self.b, self.n)
+        if self._lane_handle is None or self._lane_shape != shape:
+            self._drop_lanes()
+            handle = self._lane_alloc(width, self.b, self.n)
+            if not handle:
+                raise MemoryError(
+                    f"gk_lane_alloc({width}, b={self.b}, n={self.n}) failed"
+                )
+            self._lane_handle = handle
+            self._lane_shape = shape
+        return self._lane_handle
+
+    def __del__(self):  # noqa: D105 - release C-side lane memory
+        try:
+            self._drop_lanes()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def polish_chains(
+        self, seeds: Sequence[Sequence[int]], lanes: int = 1
+    ) -> List[Tuple[List[int], int, int, int]]:
+        """Fused chain batch: every chain in one foreign call.
+
+        Each lane clones the bound engine's packed state shape and runs
+        chains serially inside (the coarse tasks are the parallelism, so
+        the fine-grained ``_mt`` paths never nest under a lane); up to
+        ``min(lanes, pool width)`` chains run concurrently. Chain i
+        writes only its own output slots, so results are bit-identical
+        to the sequential generic path at any lane count.
+        """
+        seeds = [list(seed) for seed in seeds]
+        chains = len(seeds)
+        if chains == 0:
+            return []
+        k = len(seeds[0])
+        if any(len(seed) != k for seed in seeds):
+            raise ValueError("polish chains need uniform seed sizes")
+        width = min(max(1, lanes), chains)
+        pool = self._pool() if width > 1 else None
+        if pool is None:
+            width = 1
+        else:
+            width = min(width, _native.pool_threads())
+        lane_set = self._lane_set(width)
+        all_nodes = array("i", [node for seed in seeds for node in seed])
+        damages = array("i", bytes(4 * chains))
+        passes = array("i", bytes(4 * chains))
+        swaps = array("i", bytes(4 * chains))
+        self._chains(
+            self._model_ref, pool if width > 1 else None, lane_set,
+            _native.i32_ptr(all_nodes), chains, k,
+            _native.i32_ptr(damages), _native.i32_ptr(passes),
+            _native.i32_ptr(swaps),
+        )
+        return [
+            (
+                all_nodes[i * k:(i + 1) * k].tolist(),
+                damages[i],
+                passes[i],
+                swaps[i],
+            )
+            for i in range(chains)
+        ]
 
     def optimistic_bound(self, hits: _NativeGainHits, start: int, slots: int) -> int:
         if self._suffix_ptr is None:

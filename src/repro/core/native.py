@@ -36,6 +36,17 @@ releases the GIL for the call's duration — kernel threads therefore
 instead of competing against the interpreter lock. Worker threads do not
 survive ``fork``; an :func:`os.register_at_fork` hook drops the stale pool
 in children, which lazily rebuild one on first use.
+
+**Lanes.** On top of the fine-grained ``_mt`` sweeps the library offers
+*replicated gain-state lanes* (``gk_lane_alloc`` / ``gk_polish_chains_mt``):
+each lane holds a private copy of the packed gain state and runs whole
+local-search polish chains to convergence — coarse tasks over the same
+pool, one foreign call for an entire restart schedule. Inside a lane the
+kernels stay serial (the chains are the parallelism, and ``gk_pool_run``
+is not reentrant), so lanes never nest pool dispatch; results land per
+chain index and are bit-identical to the serial chain loop at any lane
+count. The driver is :class:`repro.core.adversary.LocalSearchAdversary`,
+budgeted by ``REPRO_ATTACK_LANES``.
 """
 
 from __future__ import annotations
@@ -673,6 +684,151 @@ i32 gk_polish_pass_mt(const gk_model *m, gk_pool *pool, i32 *state,
     *current_out = current;
     return improved;
 }
+
+/* ================= replicated gain-state lanes =================
+
+   Coarse chain-level parallelism for the local-search adversary. Each
+   lane owns a private replica of the packed gain state (counts[b] +
+   gain[n] + dead) plus its own banned-flag vector, and runs whole
+   polish-to-convergence chains on it — one foreign call for any number
+   of chains. A chain is a pure function of (model, seed set), so
+   scheduling chains across lanes in any order cannot change results;
+   outputs land per chain index. The loops inside a chain stay serial
+   on purpose: the chains themselves are the parallelism (the `_mt`
+   fine-grained paths would oversubscribe the pool), and gk_pool_run is
+   not reentrant, so a lane must never dispatch into the pool. */
+
+typedef struct {
+    i32 lanes;    /* lane replicas allocated */
+    i32 words;    /* packed state words per lane: b + n + 1 */
+    i32 n;        /* banned-flag words per lane */
+    i32 *block;   /* lanes x (words + n): state, then banned flags */
+} gk_lane_set;
+
+gk_lane_set *gk_lane_alloc(i32 lanes, i32 b, i32 n)
+{
+    if (lanes < 1)
+        lanes = 1;
+    gk_lane_set *set = (gk_lane_set *)calloc(1, sizeof(gk_lane_set));
+    if (!set)
+        return NULL;
+    set->lanes = lanes;
+    set->words = b + n + 1;
+    set->n = n;
+    set->block = (i32 *)malloc(
+        (size_t)lanes * ((size_t)set->words + n) * sizeof(i32)
+    );
+    if (!set->block) {
+        free(set);
+        return NULL;
+    }
+    /* Chains rebuild the state region from scratch but expect their
+       banned flags clear on entry (and leave them clear on exit). */
+    for (i32 t = 0; t < lanes; t++)
+        memset(set->block + (size_t)t * (set->words + n) + set->words, 0,
+               (size_t)n * sizeof(i32));
+    return set;
+}
+
+void gk_lane_free(gk_lane_set *set)
+{
+    if (!set)
+        return;
+    free(set->block);
+    free(set);
+}
+
+/* One polish-to-convergence chain on lane-private state: bulk-rebuild
+   the gain state from the seed set, then repeat the steepest-positional
+   sweep (same visit order, tie-breaks and strict-improvement rule as
+   gk_polish_pass) until a sweep lands no swap. `banned` must arrive
+   all-clear; it leaves all-clear. Returns the number of sweeps run
+   (the driver's evaluation charge is sweeps x k x (n - k + 1)); writes
+   the final damage and the accepted-swap count — a swapped-in node can
+   never equal the one removed (re-adding it only restores `current`,
+   never strictly beats it), so this equals the per-position occupant
+   diff the serial driver counts. */
+i32 gk_polish_chain(const gk_model *m, i32 *state, i32 *banned,
+                    i32 *nodes, i32 k, i32 *damage_out, i32 *swaps_out)
+{
+    gk_bulk_build(m, nodes, k, state);
+    for (i32 p = 0; p < k; p++)
+        banned[nodes[p]] = 1;
+    i32 current = state[m->b + m->n];
+    i32 passes = 0, swaps = 0, improved = 1;
+    while (improved) {
+        improved = 0;
+        for (i32 p = 0; p < k; p++) {
+            const i32 u = nodes[p];
+            banned[u] = 0;
+            gk_remove_node(m, u, state);
+            i32 damage = 0;
+            const i32 v = gk_best_addition(m, state, banned, &damage);
+            if (v >= 0 && damage > current) {
+                gk_add_node(m, v, state);
+                nodes[p] = v;
+                banned[v] = 1;
+                current = damage;
+                improved = 1;
+                swaps++;
+            } else {
+                gk_add_node(m, u, state);
+                banned[u] = 1;
+            }
+        }
+        passes++;
+    }
+    for (i32 p = 0; p < k; p++)
+        banned[nodes[p]] = 0;
+    *damage_out = current;
+    *swaps_out = swaps;
+    return passes;
+}
+
+typedef struct {
+    const gk_model *m;
+    gk_lane_set *set;
+    i32 *all_nodes;   /* chains x k seed sets, polished in place */
+    i32 *damages;     /* one per chain */
+    i32 *passes;
+    i32 *swaps;
+    i32 chains, k;
+} gk_chain_ctx;
+
+static void gk_chain_task(void *raw, i32 tid, i32 nthreads)
+{
+    gk_chain_ctx *c = (gk_chain_ctx *)raw;
+    i32 width = c->set->lanes < nthreads ? c->set->lanes : nthreads;
+    if (width < 1)
+        width = 1;
+    if (tid >= width)
+        return;
+    const size_t stride = (size_t)c->set->words + c->set->n;
+    i32 *state = c->set->block + (size_t)tid * stride;
+    i32 *banned = state + c->set->words;
+    for (i32 i = tid; i < c->chains; i += width)
+        c->passes[i] = gk_polish_chain(
+            c->m, state, banned, c->all_nodes + (size_t)i * c->k, c->k,
+            &c->damages[i], &c->swaps[i]
+        );
+}
+
+/* Run every chain to convergence, at most min(set->lanes, pool width)
+   concurrently. Chain i always uses lane i % width and writes only its
+   own output slots, so results are independent of both the pool size
+   and the lane count. */
+void gk_polish_chains_mt(const gk_model *m, gk_pool *pool,
+                         gk_lane_set *set, i32 *all_nodes, i32 chains,
+                         i32 k, i32 *damages, i32 *passes, i32 *swaps)
+{
+    gk_chain_ctx ctx = {m, set, all_nodes, damages, passes, swaps,
+                        chains, k};
+    if (!pool || set->lanes <= 1 || chains <= 1) {
+        gk_chain_task(&ctx, 0, 1);
+        return;
+    }
+    gk_pool_run(pool, gk_chain_task, &ctx);
+}
 """
 
 _CC_CANDIDATES = ("cc", "gcc", "clang")
@@ -901,6 +1057,22 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
         ctypes.c_int32, _I32P,
     ]
     lib.gk_polish_pass_mt.restype = ctypes.c_int32
+    # Replicated lanes + fused polish chains. Lane sets are opaque.
+    lib.gk_lane_alloc.argtypes = [
+        ctypes.c_int32, ctypes.c_int32, ctypes.c_int32
+    ]
+    lib.gk_lane_alloc.restype = ctypes.c_void_p
+    lib.gk_lane_free.argtypes = [ctypes.c_void_p]
+    lib.gk_lane_free.restype = None
+    lib.gk_polish_chain.argtypes = [
+        model_p, _I32P, _I32P, _I32P, ctypes.c_int32, _I32P, _I32P
+    ]
+    lib.gk_polish_chain.restype = ctypes.c_int32
+    lib.gk_polish_chains_mt.argtypes = [
+        model_p, ctypes.c_void_p, ctypes.c_void_p, _I32P, ctypes.c_int32,
+        ctypes.c_int32, _I32P, _I32P, _I32P,
+    ]
+    lib.gk_polish_chains_mt.restype = None
     return lib
 
 

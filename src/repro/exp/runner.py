@@ -290,6 +290,7 @@ def _shard_worker(
     attempt: int,
     cells: List[Dict[str, Any]],
     thread_budget: int,
+    lane_budget: Optional[int],
     queue: Any,
 ) -> None:
     """Supervised worker entry: compute one shard, post one message.
@@ -310,10 +311,12 @@ def _shard_worker(
     inherited heap, atexit handlers) trims the per-shard fixed cost the
     supervisor pays over a reusing worker pool.
     """
-    from repro.core import native
+    from repro.core import adversary, native
 
     try:
         native.configure_threads(thread_budget)
+        if lane_budget is not None:
+            adversary.configure_lanes(lane_budget)
         spec = ExperimentSpec.from_dict(json.loads(spec_json))
         kernel = registry.kernel(spec.experiment)
         # Forked workers inherit the parent's counter values, so the
@@ -363,6 +366,7 @@ def run_experiment(
     resume: bool = False,
     limit: Optional[int] = None,
     threads: Optional[int] = None,
+    lanes: Optional[int] = None,
     shard_timeout: Optional[float] = None,
     shard_retries: Optional[int] = None,
     engine_state: Optional[str] = None,
@@ -384,6 +388,14 @@ def run_experiment(
     (workers, threads) combination — the kernel's threaded paths merge
     deterministically.
 
+    ``lanes`` pins the adversary's polish-chain lane count for this run
+    (default: ``REPRO_ATTACK_LANES`` / the thread budget). Like the
+    thread budget, an explicit lane budget divides across worker
+    processes (``max(1, lanes // processes)``); the ``auto`` default
+    follows each worker's split thread budget on its own. Lanes are a
+    pure scheduling knob — results are bit-identical at every lane
+    count.
+
     Sharded runs are *supervised*: shards run on a persistent
     affinity-routed worker pool (``REPRO_SHARD_MODE=fork`` restores the
     fork-per-attempt fan-out) with a wall-clock watchdog
@@ -402,7 +414,7 @@ def run_experiment(
     Purely a performance lever — results are bit-identical with or
     without it.
     """
-    from repro.core import batch, kernels, native
+    from repro.core import adversary, batch, kernels, native
 
     started = time.perf_counter()
     run_mark = obs.checkpoint()
@@ -415,6 +427,8 @@ def run_experiment(
         raise ValueError(f"limit must be >= 0, got {limit}")
     if threads is not None and threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    if lanes is not None and lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
     if shard_retries is None:
         shard_retries = _env_shard_retries()
     if shard_retries < 0:
@@ -479,13 +493,17 @@ def run_experiment(
         if workers > 1 and len(pending) > 1:
             _run_sharded(
                 spec, kernel, cells, pending, workers, flush, threads,
-                shard_timeout, shard_retries,
+                shard_timeout, shard_retries, lanes=lanes,
             )
-        elif threads is not None:
-            # Serial run with a pinned kernel budget: configure, compute,
-            # restore the caller's setting.
-            previous = native.configured_threads()
-            native.configure_threads(threads)
+        else:
+            # Serial run with pinned budgets: configure, compute,
+            # restore the caller's settings.
+            previous_threads = native.configured_threads()
+            previous_lanes = adversary.configured_lanes()
+            if threads is not None:
+                native.configure_threads(threads)
+            if lanes is not None:
+                adversary.configure_lanes(lanes)
             try:
                 for group in pending:
                     chunk, _attempts = _run_group_serial(
@@ -493,13 +511,10 @@ def run_experiment(
                     )
                     flush(group, chunk)
             finally:
-                native.configure_threads(previous)
-        else:
-            for group in pending:
-                chunk, _attempts = _run_group_serial(
-                    spec, kernel, group, cells, shard_retries
-                )
-                flush(group, chunk)
+                if threads is not None:
+                    native.configure_threads(previous_threads)
+                if lanes is not None:
+                    adversary.configure_lanes(previous_lanes)
         computed = sum(
             group.end - max(group.start, prefix) for group in pending
         ) + recomputed
@@ -610,7 +625,7 @@ class _Slot:
 
 def _run_sharded(
     spec, kernel, cells, pending, workers, flush, threads=None,
-    shard_timeout=None, shard_retries=2, mode=None,
+    shard_timeout=None, shard_retries=2, mode=None, lanes=None,
 ) -> int:
     """Supervised shard fan-out; commit in expansion order. Returns retries.
 
@@ -625,13 +640,13 @@ def _run_sharded(
     run = _run_sharded_forked if mode == "fork" else _run_sharded_pool
     return run(
         spec, kernel, cells, pending, workers, flush, threads,
-        shard_timeout, shard_retries,
+        shard_timeout, shard_retries, lanes,
     )
 
 
 def _run_sharded_forked(
     spec, kernel, cells, pending, workers, flush, threads=None,
-    shard_timeout=None, shard_retries=2,
+    shard_timeout=None, shard_retries=2, lanes=None,
 ) -> int:
     """Fork-per-attempt shard fan-out; commit in expansion order.
 
@@ -676,6 +691,7 @@ def _run_sharded_forked(
     processes = min(workers, len(pending))
     budget = threads if threads is not None else native.thread_count()
     per_worker = max(1, budget // processes)
+    lane_budget = max(1, lanes // processes) if lanes is not None else None
 
     queue = context.Queue()
     waiting: List[int] = list(order)
@@ -694,7 +710,8 @@ def _run_sharded_forked(
             target=_shard_worker,
             args=(
                 spec_json, ordinal, group.start, attempt,
-                cells[group.start:group.end], per_worker, queue,
+                cells[group.start:group.end], per_worker, lane_budget,
+                queue,
             ),
             daemon=True,
         )
@@ -830,6 +847,7 @@ def _bind_to_supervisor() -> None:
 def _pool_worker(
     spec_json: str,
     thread_budget: int,
+    lane_budget: Optional[int],
     demotions: Sequence[Tuple[str, str]],
     task_queue: Any,
     result_queue: Any,
@@ -850,11 +868,13 @@ def _pool_worker(
     """
     from queue import Empty
 
-    from repro.core import kernels, native
+    from repro.core import adversary, kernels, native
 
     try:
         _bind_to_supervisor()
         native.configure_threads(thread_budget)
+        if lane_budget is not None:
+            adversary.configure_lanes(lane_budget)
         for backing, reason in demotions:
             try:
                 kernels.demote_backing(backing, reason)
@@ -961,7 +981,7 @@ def _affinity_plan(spec, kernel, cells, pending, slots) -> List[List[int]]:
 
 def _run_sharded_pool(
     spec, kernel, cells, pending, workers, flush, threads=None,
-    shard_timeout=None, shard_retries=2,
+    shard_timeout=None, shard_retries=2, lanes=None,
 ) -> int:
     """Persistent-pool shard fan-out; commit in expansion order.
 
@@ -993,6 +1013,7 @@ def _run_sharded_pool(
     processes = min(workers, len(pending))
     budget = threads if threads is not None else native.thread_count()
     per_worker = max(1, budget // processes)
+    lane_budget = max(1, lanes // processes) if lanes is not None else None
 
     result_queue = context.Queue()
     slots = [
@@ -1017,7 +1038,7 @@ def _run_sharded_pool(
         slot.proc = context.Process(
             target=_pool_worker,
             args=(
-                spec_json, per_worker,
+                spec_json, per_worker, lane_budget,
                 sorted(kernels.demoted_backings().items()),
                 slot.task_queue, result_queue,
             ),

@@ -107,6 +107,9 @@ CATALOG: Dict[str, Instrument] = {
         # -- deterministic semantic-work counters --------------------------
         _c("attack.searches",
            "worst-case searches executed (memo hits excluded)", det=True),
+        _c("attack.restarts",
+           "local-search restart chains polished (lane-count invariant)",
+           det=True),
         _c("kernel.evaluations",
            "candidate damage evaluations spent across searches", det=True),
         _c("kernel.node_adds",

@@ -160,6 +160,59 @@ class TestLocalSearchDeterminism:
         )
         assert warmed.damage >= base.damage
 
+    def test_caller_rng_state_matches_the_serial_draw_loop(self):
+        # Pre-drawing restart seeds must consume the caller-managed
+        # generator exactly as the historical draw-inside-the-loop did:
+        # one sample(range(n), k) per restart, nothing else. Pin both the
+        # seed sequence and the post-attack generator state.
+        p = random_placement(14, 3, 40, 16)
+        rng = random.Random(99)
+        LocalSearchAdversary(restarts=5, rng=rng).attack(p, 3, 2)
+        reference = random.Random(99)
+        expected_seeds = [
+            reference.sample(range(p.n), 3) for _ in range(5)
+        ]
+        assert rng.getstate() == reference.getstate()
+        # The drawn sequence is observable through the next draws: both
+        # generators must continue identically.
+        assert rng.random() == reference.random()
+        # And the same seeds replayed explicitly reproduce the result.
+        replay = random.Random(99)
+        assert [
+            replay.sample(range(p.n), 3) for _ in range(5)
+        ] == expected_seeds
+
+    def test_caller_rng_state_is_lane_count_invariant(self):
+        # Chains consume no randomness, so the generator finishes in the
+        # same state at any lane count.
+        p = random_placement(14, 3, 40, 17)
+        states, results = [], []
+        for lanes in (1, 2, 4):
+            rng = random.Random(41)
+            results.append(
+                LocalSearchAdversary(restarts=4, rng=rng, lanes=lanes).attack(
+                    p, 3, 2
+                )
+            )
+            states.append(rng.getstate())
+        assert results[1] == results[0] and results[2] == results[0]
+        assert states[1] == states[0] and states[2] == states[0]
+
+    def test_shared_rng_attack_sequence_pinned(self):
+        # Two successive attacks sharing one generator: the second sees
+        # exactly the state the serial loop would have left behind.
+        p1 = random_placement(14, 3, 40, 18)
+        p2 = random_placement(14, 3, 40, 19)
+        rng = random.Random(7)
+        serial_first = LocalSearchAdversary(restarts=3, rng=rng, lanes=1)
+        a1 = serial_first.attack(p1, 3, 2)
+        a2 = serial_first.attack(p2, 3, 2)
+        rng_lanes = random.Random(7)
+        laned = LocalSearchAdversary(restarts=3, rng=rng_lanes, lanes=4)
+        assert laned.attack(p1, 3, 2) == a1
+        assert laned.attack(p2, 3, 2) == a2
+        assert rng_lanes.getstate() == rng.getstate()
+
 
 class TestEvaluationAccounting:
     """`evaluations` counts candidate damage evaluations, identically on

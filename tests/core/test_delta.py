@@ -186,6 +186,33 @@ class TestDeltaEngineBitForBit:
                 attacks += 1
         assert attacks >= 10
 
+    def test_interleaved_churn_and_lane_attacks(self, backend, backing):
+        # Lane clones must snapshot the *current* (delta-rebound) packed
+        # state, not the cold build — churn that changes b resizes the
+        # state block, so a stale lane replica would read garbage. Every
+        # lane-parallel attack after churn must match a cold engine
+        # attacked serially.
+        rng = random.Random(404)
+        placement = random_placement(13, 3, 32, 9)
+        engine = AttackEngine(placement, backend=backend, gain_backing=backing)
+        attacks = 0
+        for step in range(24):
+            added, removed = random_delta(rng, engine.placement.b, 13, 3)
+            if added or removed:
+                engine.apply_delta(
+                    added_objects=added, removed_objects=removed
+                )
+            if step % 3 == 2:
+                cell = AttackCell(rng.choice((2, 3)), rng.choice((1, 2)), "fast")
+                cold = AttackEngine(
+                    engine.placement, backend=backend, gain_backing=backing
+                )
+                assert engine.attack(
+                    cell, seed=9, cache=False, lanes=2
+                ) == cold.attack(cell, seed=9, cache=False, lanes=1)
+                attacks += 1
+        assert attacks >= 6
+
     def test_warm_chain_matches_cold(self, backend, backing):
         placement = random_placement(12, 3, 30, 3)
         engine = AttackEngine(placement, backend=backend, gain_backing=backing)
